@@ -1,0 +1,58 @@
+"""Experiment E4 (ablation) — the cost of per-action acknowledgments.
+
+The paper's central argument is that eliminating per-action end-to-end
+acknowledgments pays: COReL issues ~n multicasts and one forced write
+*per replica* per action, two-phase commit ~2n unicasts and two forced
+writes in the critical path, while the engine issues one action
+multicast and one forced write at the originator (GCS stability acks
+are batched and amortized).  This ablation measures the realized
+per-action resource costs of all three protocols on identical
+substrates.
+"""
+
+from bench_common import (corel_factory, engine_factory, twopc_factory,
+                          write_report)
+from repro.bench import per_action_cost_table, run_latency_probe
+
+ACTIONS = 500
+
+
+def run_costs():
+    return [
+        run_latency_probe(engine_factory(), actions=ACTIONS),
+        run_latency_probe(corel_factory(), actions=ACTIONS),
+        run_latency_probe(twopc_factory(), actions=ACTIONS),
+    ]
+
+
+def check_shape(results):
+    by_name = {r.system: r for r in results}
+    engine = by_name["engine"]
+    corel = by_name["corel"]
+    twopc = by_name["2pc"]
+    # Forced writes per action: engine pays ~1 (originator only),
+    # COReL ~14 (every replica), 2PC ~15 (every replica prepare +
+    # coordinator commit).
+    assert engine.per_action("forced_writes") < 3
+    assert corel.per_action("forced_writes") > 10
+    assert twopc.per_action("forced_writes") > 10
+    # Datagrams per action: the engine sends far fewer than COReL's
+    # action + per-replica ack multicasts and 2PC's 3(n-1) unicasts.
+    assert engine.per_action("datagrams") < corel.per_action("datagrams")
+    assert engine.per_action("datagrams") < twopc.per_action("datagrams")
+
+
+def test_per_action_protocol_costs(benchmark):
+    results = benchmark.pedantic(run_costs, rounds=1, iterations=1)
+    check_shape(results)
+    lines = [
+        "Ablation E4: per-action protocol costs (lower is better)",
+        "",
+        per_action_cost_table(results, ["forced_writes", "datagrams",
+                                        "bytes"]),
+        "",
+        "paper cost model: engine = 1 forced write + 1 multicast;",
+        "COReL = 1 forced write/replica + n multicasts;"
+        " 2PC = 2 forced writes + 2n unicasts.",
+    ]
+    write_report("ablation_acks", lines)

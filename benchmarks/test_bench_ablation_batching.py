@@ -1,0 +1,87 @@
+"""Experiment E7 (ablation) — group commit batching.
+
+The engine's one forced write per action happens at the *originating*
+replica, so batching matters exactly when multiple clients share a
+node's disk.  This ablation co-locates all clients on replica 1: with
+group commit their journal writes share platter syncs and throughput
+scales; with ``max_batch = 1`` the single disk serializes at
+~1/forced_write_latency ≈ 105 writes/s and becomes the ceiling.
+"""
+
+import pytest
+
+from bench_common import N_REPLICAS, write_report
+from repro.baselines import EngineSystem
+from repro.bench import ClosedLoopClient, summarize, \
+    throughput_series_table
+from repro.core import EngineConfig
+from repro.net import lan_profile
+from repro.storage import DiskProfile
+
+CLIENTS = [1, 4, 8]
+
+
+def factory(max_batch):
+    def build():
+        profile = DiskProfile(forced_write_latency=0.0095,
+                              max_batch=max_batch)
+        return EngineSystem(N_REPLICAS, network_profile=lan_profile(),
+                            disk_profile=profile,
+                            engine_config=EngineConfig())
+    return build
+
+
+def run_colocated(build, clients, duration=3.0, warmup=1.0):
+    """Closed loop with every client pinned to node 1."""
+    system = build()
+    system.start(settle=2.0)
+    loop = [ClosedLoopClient(system, system.nodes[0], i + 1)
+            for i in range(clients)]
+    for client in loop:
+        client.start()
+    system.sim.run(until=system.sim.now + warmup)
+    for client in loop:
+        client.latencies.clear()
+    system.sim.run(until=system.sim.now + duration)
+    latencies = []
+    for client in loop:
+        client.stop()
+        latencies.extend(client.latencies)
+    return summarize(system.name, clients, duration, latencies, {})
+
+
+def run_ablation():
+    series = {}
+    for label, max_batch in (("group-commit", None),
+                             ("no-batching", 1)):
+        series[label] = [run_colocated(factory(max_batch), clients)
+                         for clients in CLIENTS]
+    return series
+
+
+def test_group_commit_batching(benchmark):
+    series = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    def at(name, clients):
+        return next(r.throughput for r in series[name]
+                    if r.clients == clients)
+
+    # Single client: indistinguishable (nothing to batch).
+    assert at("group-commit", 1) == pytest.approx(at("no-batching", 1),
+                                                  rel=0.15)
+    # Eight co-located clients: the unbatched disk is the ceiling
+    # (~105 forced writes/s shared with checkpoints), group commit
+    # scales well past it.
+    assert at("no-batching", 8) < 120
+    assert at("group-commit", 8) > 1.8 * at("no-batching", 8)
+    lines = [
+        "Ablation E7: group commit batching "
+        "(engine, all clients co-located on replica 1)",
+        "",
+        throughput_series_table(series),
+        "",
+        "group commit lets co-located clients' forced journal writes",
+        "share platter syncs; without it the one disk serializes at",
+        "~105 writes/s and caps throughput.",
+    ]
+    write_report("ablation_batching", lines)

@@ -1,0 +1,95 @@
+"""Experiment E11 (ablation) — checkpoint interval vs recovery cost.
+
+Green application durability is asynchronous; the checkpoint timer
+bounds how much green history a crash rolls back (the vulnerable
+record guards correctness either way).  Sparser checkpoints mean less
+steady-state disk traffic but a longer catch-up retransmission when a
+crashed replica returns.  This ablation quantifies that trade.
+"""
+
+import pytest
+
+from bench_common import write_report
+from repro.bench import format_table
+from repro.core import EngineConfig, ReplicaCluster
+from repro.gcs import GcsSettings
+from repro.storage import DiskProfile
+
+INTERVALS = [0.05, 0.25, 1.0]
+
+
+def run_point(checkpoint_interval, seed=0):
+    cluster = ReplicaCluster(
+        n=3, seed=seed,
+        gcs_settings=GcsSettings(heartbeat_interval=0.02,
+                                 failure_timeout=0.08,
+                                 gather_settle=0.02,
+                                 phase_timeout=0.15),
+        disk_profile=DiskProfile(forced_write_latency=0.001),
+        engine_config=EngineConfig(
+            checkpoint_interval=checkpoint_interval))
+    cluster.start_all(settle=1.0)
+    client = cluster.client(1)
+    busy = [True]
+
+    def again(_a=None, _p=None, _r=None):
+        if busy[0]:
+            client.submit(("INC", "n", 1), on_complete=again)
+    again()
+    cluster.run_for(4.0)
+
+    syncs_before = cluster.replicas[3].disk.syncs
+    cluster.crash(3)
+    cluster.run_for(0.5)
+    greens_before_recovery = None
+    cluster.recover(3)
+    greens_before_recovery = cluster.replicas[3].engine.queue.green_count
+    live_green = cluster.replicas[1].engine.queue.green_count
+    rollback = live_green - greens_before_recovery
+
+    start = cluster.sim.now
+    while cluster.replicas[3].engine.queue.green_count < live_green \
+            and cluster.sim.now - start < 10.0:
+        cluster.run_for(0.1)
+    catch_up = cluster.sim.now - start
+    busy[0] = False
+    cluster.run_for(2.0)
+    cluster.assert_converged()
+    return {
+        "interval": checkpoint_interval,
+        "rollback_actions": rollback,
+        "catch_up_seconds": catch_up,
+        "steady_syncs": syncs_before,
+    }
+
+
+def run_ablation():
+    return [run_point(interval) for interval in INTERVALS]
+
+
+def test_checkpoint_interval_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    by_interval = {r["interval"]: r for r in rows}
+    # Sparser checkpoints roll back more green history...
+    assert by_interval[1.0]["rollback_actions"] >= \
+        by_interval[0.05]["rollback_actions"]
+    # ...while denser checkpoints cost more steady-state disk syncs.
+    assert by_interval[0.05]["steady_syncs"] > \
+        by_interval[1.0]["steady_syncs"]
+    # Either way the exchange repairs everything (convergence asserted
+    # inside run_point).
+    lines = [
+        "Ablation E11: checkpoint interval vs recovery cost",
+        "",
+        format_table(
+            ["interval s", "rolled-back greens", "catch-up s",
+             "steady-state syncs"],
+            [[r["interval"], r["rollback_actions"],
+              f"{r['catch_up_seconds']:.2f}", r["steady_syncs"]]
+             for r in rows]),
+        "",
+        "correctness is checkpoint-independent (the vulnerable record",
+        "guards the window); the interval only trades steady-state",
+        "disk traffic against recovery retransmission volume.",
+    ]
+    write_report("ablation_checkpoint", lines)

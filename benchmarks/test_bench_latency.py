@@ -1,0 +1,58 @@
+"""Experiment E3 — Section 7's latency test.
+
+One client submits a long run of sequential actions; we record the
+mean response time.  Paper: two-phase commit ≈ 19.3 ms (two serial
+forced writes); COReL ≈ engine ≈ 11.4 ms (one forced write), flat in
+the number of servers because disk latency dominates on a LAN.
+"""
+
+import pytest
+
+from bench_common import (corel_factory, engine_factory, twopc_factory,
+                          write_report)
+from repro.bench import latency_table, paper_vs_measured, run_latency_probe
+
+ACTIONS = 1000
+PAPER_MS = {"engine": 11.4, "corel": 11.4, "2pc": 19.3}
+
+
+def run_latency():
+    return [
+        run_latency_probe(engine_factory(), actions=ACTIONS),
+        run_latency_probe(corel_factory(), actions=ACTIONS),
+        run_latency_probe(twopc_factory(), actions=ACTIONS),
+    ]
+
+
+def check_shape(results):
+    by_name = {r.system: r for r in results}
+    engine_ms = by_name["engine"].mean_latency_ms
+    corel_ms = by_name["corel"].mean_latency_ms
+    twopc_ms = by_name["2pc"].mean_latency_ms
+    # The engine and COReL sit together near one forced write; 2PC is
+    # roughly twice that (two serial forced writes).
+    assert abs(engine_ms - corel_ms) < 3.0
+    assert twopc_ms > 1.5 * min(engine_ms, corel_ms)
+    assert 9.0 < engine_ms < 14.0
+    assert 17.0 < twopc_ms < 23.0
+
+
+def test_single_client_latency(benchmark):
+    results = benchmark.pedantic(run_latency, rounds=1, iterations=1)
+    check_shape(results)
+    by_name = {r.system: r for r in results}
+    comparison = [
+        (name, f"{PAPER_MS[name]:.1f} ms",
+         f"{by_name[name].mean_latency_ms:.1f} ms",
+         "shape holds")
+        for name in ("engine", "corel", "2pc")
+    ]
+    lines = [
+        f"Latency test reproduction: 1 client, {ACTIONS} sequential"
+        " actions, 14 replicas",
+        "",
+        latency_table(results),
+        "",
+        paper_vs_measured(comparison),
+    ]
+    write_report("latency", lines)

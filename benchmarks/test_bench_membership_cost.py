@@ -1,0 +1,85 @@
+"""Experiment E6 (ablation) — end-to-end cost only at membership changes.
+
+The paper's Section 1 claim: "end-to-end acknowledgements are only used
+once for every network connectivity change event ... and not per
+action."  We measure the engine-level exchange traffic (state messages
++ CPC messages) against action traffic across a run with a known number
+of membership events: per-action engine overhead must be zero, and the
+exchange message count must scale with view changes, not with actions.
+"""
+
+import pytest
+
+from bench_common import write_report
+from repro.bench import format_table
+from repro.core import ReplicaCluster
+from repro.gcs import GcsSettings
+from repro.storage import DiskProfile
+
+
+def run_membership_cost(actions_between=60, partitions=3):
+    cluster = ReplicaCluster(
+        n=5, seed=0,
+        gcs_settings=GcsSettings(heartbeat_interval=0.02,
+                                 failure_timeout=0.08,
+                                 gather_settle=0.02, phase_timeout=0.15),
+        disk_profile=DiskProfile(forced_write_latency=0.001))
+    cluster.start_all(settle=1.5)
+
+    def totals():
+        state_msgs = sum(r.engine.stats["state_msgs_sent"]
+                         for r in cluster.replicas.values())
+        cpcs = sum(r.engine.stats["cpc_sent"]
+                   for r in cluster.replicas.values())
+        return state_msgs + cpcs
+
+    client = cluster.client(1)
+    exchange_before = totals()
+    for _ in range(actions_between):
+        client.submit(("INC", "n", 1))
+    cluster.run_for(2.0)
+    exchange_during_actions = totals() - exchange_before
+
+    view_events = 0
+    exchange_before = totals()
+    for _ in range(partitions):
+        cluster.partition([1, 2, 3], [4, 5])
+        cluster.run_for(1.0)
+        view_events += 1
+        cluster.heal()
+        cluster.run_for(1.0)
+        view_events += 1
+    exchange_during_faults = totals() - exchange_before
+    cluster.assert_converged()
+    return {
+        "actions": actions_between,
+        "exchange_msgs_during_actions": exchange_during_actions,
+        "view_events": view_events,
+        "exchange_msgs_during_faults": exchange_during_faults,
+    }
+
+
+def test_exchange_cost_scales_with_membership_not_actions(benchmark):
+    result = benchmark.pedantic(run_membership_cost, rounds=1,
+                                iterations=1)
+    # Zero engine-level acknowledgment traffic per action.
+    assert result["exchange_msgs_during_actions"] == 0
+    # Exchange traffic appears exactly around membership events.
+    assert result["exchange_msgs_during_faults"] > 0
+    per_event = (result["exchange_msgs_during_faults"]
+                 / result["view_events"])
+    lines = [
+        "Ablation E6: end-to-end exchange traffic vs workload",
+        "",
+        format_table(
+            ["phase", "actions", "view changes", "exchange messages"],
+            [["steady state", result["actions"], 0,
+              result["exchange_msgs_during_actions"]],
+             ["partition/merge cycles", 0, result["view_events"],
+              result["exchange_msgs_during_faults"]]]),
+        "",
+        f"exchange messages per membership event: {per_event:.1f}",
+        "paper claim: one end-to-end round per connectivity change,"
+        " zero per action.",
+    ]
+    write_report("membership_cost", lines)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Dynamic replica instantiation and deactivation (Section 5.1/5.2).
+
+A running 3-replica system grows online: a new replica announces
+itself through a representative, is ordered into the global history
+via a PERSISTENT_JOIN action, receives a database transfer, and joins
+the group — all while clients keep committing.  Later a replica leaves
+permanently with a PERSISTENT_LEAVE, and a crashed replica is removed
+administratively, shrinking the quorum requirements.
+
+Run:  python examples/dynamic_membership.py
+"""
+
+from repro.core import ReplicaCluster
+
+
+def banner(text):
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main():
+    cluster = ReplicaCluster(n=3, seed=7)
+    cluster.start_all()
+
+    banner("seed some data")
+    client = cluster.client(1)
+    for i in range(5):
+        client.submit(("SET", f"item-{i}", f"value-{i}"))
+    cluster.run_for(1.0)
+    print(f"committed {client.completed} actions on replicas "
+          f"{cluster.replicas[1].engine.queue.servers}")
+
+    banner("replica 4 joins through representative 2, under load")
+    pumping = {"count": 0}
+
+    def pump(*_args):
+        if pumping["count"] < 20:
+            pumping["count"] += 1
+            client.submit(("INC", "load", 1), on_complete=pump)
+
+    pump()
+    cluster.add_replica(4, peer=2)
+    cluster.run_for(6.0)
+    replica4 = cluster.replicas[4]
+    print(f"replica 4 state: {replica4.engine.state}")
+    print(f"replica 4 inherited item-0 = "
+          f"{replica4.database.state['item-0']}")
+    print(f"replica 4 saw the live load too: load = "
+          f"{replica4.database.state['load']}")
+    cluster.assert_converged()
+    print(f"server sets everywhere: "
+          f"{ {n: r.engine.queue.servers for n, r in cluster.replicas.items()} }")
+
+    banner("the new replica serves clients immediately")
+    newbie = cluster.client(4)
+    newbie.submit(("SET", "from-the-new-replica", True))
+    cluster.run_for(1.0)
+    print(f"completed: {newbie.completed == 1}")
+
+    banner("replica 1 leaves permanently (PERSISTENT_LEAVE)")
+    cluster.replicas[1].leave()
+    cluster.run_for(2.0)
+    print(f"replica 1 exited: {cluster.replicas[1].engine.exited}")
+    print(f"remaining servers: "
+          f"{cluster.replicas[2].engine.queue.servers}")
+
+    banner("replica 3 dies for good; replica 2 removes it")
+    cluster.crash(3)
+    cluster.run_for(1.0)
+    cluster.replicas[2].remove_dead_replica(3)
+    cluster.run_for(2.0)
+    print(f"servers after administrative removal: "
+          f"{cluster.replicas[2].engine.queue.servers}")
+    print(f"primary members: {sorted(cluster.primary_members())} "
+          "(quorum shrank with the membership)")
+
+    survivor = cluster.client(2)
+    survivor.submit(("SET", "the-system", "lives on"))
+    cluster.run_for(1.0)
+    print(f"post-removal commit works: {survivor.completed == 1}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Comparison baselines from the paper's evaluation: COReL and 2PC,
+plus the adapter exposing our engine behind the same benchmark API."""
+
+from .base import EngineSystem, ReplicationSystemAPI
+from .corel import CorelAck, CorelAction, CorelSystem
+from .twopc import TwoPCSystem
+
+__all__ = [
+    "CorelAck",
+    "CorelAction",
+    "CorelSystem",
+    "EngineSystem",
+    "ReplicationSystemAPI",
+    "TwoPCSystem",
+]

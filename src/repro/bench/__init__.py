@@ -1,0 +1,27 @@
+"""Benchmark harness: closed-loop workloads, simulated-time metrics,
+experiment runner, and paper-style table rendering."""
+
+from .charts import render_chart, throughput_chart
+from .metrics import RunResult, percentile, summarize
+from .runner import run_closed_loop, run_latency_probe, sweep_clients
+from .tables import (format_table, latency_table, paper_vs_measured,
+                     per_action_cost_table, throughput_series_table)
+from .workload import ClosedLoopClient, spread_clients
+
+__all__ = [
+    "ClosedLoopClient",
+    "RunResult",
+    "render_chart",
+    "throughput_chart",
+    "format_table",
+    "latency_table",
+    "paper_vs_measured",
+    "per_action_cost_table",
+    "percentile",
+    "run_closed_loop",
+    "run_latency_probe",
+    "spread_clients",
+    "summarize",
+    "sweep_clients",
+    "throughput_series_table",
+]

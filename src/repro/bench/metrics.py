@@ -1,0 +1,54 @@
+"""Measurement: throughput/latency in simulated time, resource deltas."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunResult:
+    """One benchmark point."""
+
+    system: str
+    clients: int
+    duration: float
+    actions_completed: int
+    throughput: float                 # actions / simulated second
+    mean_latency: float               # seconds
+    median_latency: float
+    p99_latency: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.mean_latency * 1e3
+
+    def per_action(self, counter: str) -> float:
+        if self.actions_completed == 0:
+            return math.nan
+        return self.counters.get(counter, 0.0) / self.actions_completed
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(system_name: str, clients: int, duration: float,
+              latencies: List[float],
+              counters: Dict[str, float]) -> RunResult:
+    completed = len(latencies)
+    return RunResult(
+        system=system_name, clients=clients, duration=duration,
+        actions_completed=completed,
+        throughput=completed / duration if duration > 0 else 0.0,
+        mean_latency=(sum(latencies) / completed) if completed else 0.0,
+        median_latency=percentile(latencies, 0.50),
+        p99_latency=percentile(latencies, 0.99),
+        counters=dict(counters))

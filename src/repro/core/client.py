@@ -1,0 +1,62 @@
+"""Client proxy: submit actions, await global ordering.
+
+A client is attached to one replica (the paper's model: clients submit
+to their local server and are answered when the action is globally
+ordered).  The closed-loop benchmark clients in :mod:`repro.bench`
+build on this class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..db import Action, ActionId
+
+_client_ids = itertools.count(1)
+
+Completion = Callable[[Action, int, Any], None]
+
+
+class Client:
+    """A client of the replicated database."""
+
+    def __init__(self, replica: "Any", name: Optional[str] = None):
+        self.replica = replica
+        self.client_id = name or f"client-{next(_client_ids)}"
+        self.submitted = 0
+        self.completed = 0
+        self.latencies: List[float] = []
+        self._pending_time: Dict[ActionId, float] = {}
+
+    def submit(self, update: Optional[Tuple], query: Optional[Tuple] = None,
+               on_complete: Optional[Completion] = None,
+               meta: Optional[dict] = None) -> ActionId:
+        """Submit an update (and/or query) action; ``on_complete`` fires
+        when the action is globally ordered and applied locally."""
+        sim = self.replica.sim
+        start = sim.now
+
+        def complete(action: Action, position: int, result: Any) -> None:
+            self.completed += 1
+            self.latencies.append(sim.now - start)
+            self._pending_time.pop(action.action_id, None)
+            if on_complete is not None:
+                on_complete(action, position, result)
+
+        action_id = self.replica.submit(update=update, query=query,
+                                        client=self.client_id,
+                                        on_complete=complete, meta=meta)
+        self.submitted += 1
+        self._pending_time[action_id] = start
+        return action_id
+
+    @property
+    def outstanding(self) -> int:
+        return self.submitted - self.completed
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)

@@ -1,0 +1,36 @@
+"""The action coloring model (Figure 1 / Figure 3 of the paper).
+
+Each server marks every action it holds with a knowledge level:
+
+* **red** — ordered within the local component by the group
+  communication, but the global order is not yet known;
+* **yellow** — delivered in a *transitional configuration* of a primary
+  component (the extra color EVS makes necessary, Section 4/Figure 3);
+* **green** — the global order is known;
+* **white** — known to be green at *all* servers; can be discarded.
+
+Colors only ever move up this lattice at a given server, and the paper's
+coherence invariant holds system-wide: no action can be white at one
+server while missing or red at another.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Color(IntEnum):
+    """Knowledge level of an action at one server (ordered lattice)."""
+
+    RED = 0
+    YELLOW = 1
+    GREEN = 2
+    WHITE = 3
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+def may_transition(old: "Color", new: "Color") -> bool:
+    """Colors are monotonic: a server never downgrades its knowledge."""
+    return new >= old

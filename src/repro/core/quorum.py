@@ -1,0 +1,76 @@
+"""Quorum policies for primary-component selection.
+
+The paper uses **dynamic linear voting** [Jajodia & Mutchler 90]: the
+component containing a (weighted) majority of the members of the *last
+installed primary component* may become the next primary.  A static
+majority policy (majority of the full replica set) is provided for the
+availability ablation (experiment E5 in DESIGN.md).
+
+The ``IsQuorum`` pre-condition that no connected server may still be
+vulnerable (CodeSegment A.8, first line) lives in the engine — it is
+policy-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class QuorumPolicy:
+    """Decides whether a connected set may form the next primary."""
+
+    def is_quorum(self, connected: Iterable[int],
+                  last_prim_servers: Tuple[int, ...],
+                  all_servers: Iterable[int]) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class DynamicLinearVoting(QuorumPolicy):
+    """Weighted majority of the last installed primary component."""
+
+    def __init__(self, weights: Optional[Dict[int, float]] = None):
+        self.weights = dict(weights or {})
+
+    def _weight(self, server: int) -> float:
+        return self.weights.get(server, 1.0)
+
+    def is_quorum(self, connected: Iterable[int],
+                  last_prim_servers: Tuple[int, ...],
+                  all_servers: Iterable[int]) -> bool:
+        prim = set(last_prim_servers)
+        if not prim:
+            # No primary was ever installed: fall back to a majority of
+            # the full known replica set (start-up bootstrap).
+            prim = set(all_servers)
+        present = sum(self._weight(s) for s in prim
+                      if s in set(connected))
+        total = sum(self._weight(s) for s in prim)
+        return present * 2 > total
+
+    def describe(self) -> str:
+        return "dynamic-linear-voting"
+
+
+class StaticMajority(QuorumPolicy):
+    """Weighted majority of the complete replica set (ablation)."""
+
+    def __init__(self, weights: Optional[Dict[int, float]] = None):
+        self.weights = dict(weights or {})
+
+    def _weight(self, server: int) -> float:
+        return self.weights.get(server, 1.0)
+
+    def is_quorum(self, connected: Iterable[int],
+                  last_prim_servers: Tuple[int, ...],
+                  all_servers: Iterable[int]) -> bool:
+        everyone = set(all_servers)
+        present = sum(self._weight(s) for s in everyone
+                      if s in set(connected))
+        total = sum(self._weight(s) for s in everyone)
+        return present * 2 > total
+
+    def describe(self) -> str:
+        return "static-majority"

@@ -1,0 +1,112 @@
+"""Persistent records of the replication engine (Appendix A data
+structures).
+
+These are the small structures the algorithm keeps on stable storage:
+
+* ``PrimComponent`` — the last *installed* primary component this server
+  knows of: its index, the attempt that installed it, and its members.
+* ``Vulnerable`` — the installation-attempt record guarding the gap
+  between group-communication notifications and what survives a crash.
+  A server that votes (sends CPC) for an attempt is vulnerable to it
+  until the attempt's outcome is fully known.
+* ``Yellow`` — the ordered set of actions delivered in a transitional
+  configuration of a primary component (order unknown *to us*, but
+  possibly known to someone).
+
+All three are plain data and deep-copyable, so they round-trip through
+:class:`repro.storage.StableStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..db import ActionId
+
+VALID = "valid"
+INVALID = "invalid"
+
+
+@dataclass
+class PrimComponent:
+    """The last primary component installed, as known to this server."""
+
+    prim_index: int = 0
+    attempt_index: int = 0
+    servers: Tuple[int, ...] = ()
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Comparison key: lexicographic (prim_index, attempt_index)."""
+        return (self.prim_index, self.attempt_index)
+
+    def same_as(self, other: "PrimComponent") -> bool:
+        return self.key == other.key and self.servers == other.servers
+
+
+@dataclass
+class Vulnerable:
+    """Status of the last installation attempt known to this server.
+
+    ``bits`` maps each member of the attempt to whether that member's
+    knowledge of the attempt has been incorporated somewhere we heard
+    of.  When every bit is set, no hidden knowledge of the attempt can
+    exist and the record can be invalidated (ComputeKnowledge step 4).
+    """
+
+    status: str = INVALID
+    prim_index: int = 0
+    attempt_index: int = 0
+    set: Tuple[int, ...] = ()
+    bits: Dict[int, bool] = field(default_factory=dict)
+
+    def make_valid(self, prim_index: int, attempt_index: int,
+                   members: Tuple[int, ...], self_id: int) -> None:
+        """Become vulnerable to a new installation attempt.
+
+        The server's own bit starts set: its own knowledge is, by
+        definition, incorporated in itself.
+        """
+        self.status = VALID
+        self.prim_index = prim_index
+        self.attempt_index = attempt_index
+        self.set = tuple(sorted(members))
+        self.bits = {m: (m == self_id) for m in self.set}
+
+    def invalidate(self) -> None:
+        self.status = INVALID
+
+    @property
+    def is_valid(self) -> bool:
+        return self.status == VALID
+
+    def attempt_key(self) -> Tuple[int, int, Tuple[int, ...]]:
+        return (self.prim_index, self.attempt_index, self.set)
+
+    def all_bits_set(self) -> bool:
+        return bool(self.set) and all(self.bits.get(m, False)
+                                      for m in self.set)
+
+
+@dataclass
+class Yellow:
+    """The yellow action set (ordered by the old primary's total order)."""
+
+    status: str = INVALID
+    set: List[ActionId] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        return self.status == VALID
+
+    def make_valid(self) -> None:
+        self.status = VALID
+
+    def invalidate(self) -> None:
+        self.status = INVALID
+        self.set = []
+
+    def add(self, action_id: ActionId) -> None:
+        if action_id not in self.set:
+            self.set.append(action_id)

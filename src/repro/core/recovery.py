@@ -1,0 +1,125 @@
+"""Crash recovery (CodeSegment A.13 + durable-state reconstruction).
+
+A recovering server retains its identifier and stable storage
+(Section 2.1).  Recovery rebuilds, from the WAL and the persistent
+record store:
+
+1. the database — last snapshot (if the node bootstrapped from a
+   transfer) plus the durable green records replayed in order;
+2. the action queue — green prefix, then the red-actions snapshot taken
+   at the last exchange, then the paper's A.13 step: every ongoingQueue
+   action not yet covered by the red cut is re-marked red;
+3. the persistent records — primComponent, vulnerable (a server that
+   crashed while vulnerable *stays* vulnerable), yellow, counters.
+
+The engine then starts in NonPrim and rejoins the group; the exchange
+protocol resupplies everything lost from volatile memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..db import Action, Database
+from ..storage import StableStore
+from .engine import ReplicationEngine
+from .records import PrimComponent, Vulnerable, Yellow
+from .state_machine import EngineState
+
+
+def recover_engine(engine: ReplicationEngine) -> None:
+    """Rebuild ``engine`` (freshly constructed) from its stable store."""
+    store = engine.store
+    view = store.recover()
+
+    # 1. database: snapshot base (joiners) + green replay
+    base_green = 0
+    snapshot_record = store.wal.last_of_kind("db_snapshot")
+    if snapshot_record is not None:
+        engine.database.restore(snapshot_record.data)
+        base_green = snapshot_record.data["applied_count"]
+
+    servers = view.get("servers")
+    if servers:
+        for server in servers:
+            engine.queue.add_server(server)
+
+    engine.queue.green_offset = base_green
+    # Actions subsumed by the snapshot (log compaction, or a joiner's
+    # transfer) are known without their payloads: the red cut must
+    # reflect them or replayed red/ongoing actions would be rejected
+    # as FIFO gaps.
+    for action_id in engine.database.applied_log:
+        if action_id.server_id not in engine.queue.red_cut:
+            continue
+        if action_id.index > engine.queue.red_cut[action_id.server_id]:
+            engine.queue.red_cut[action_id.server_id] = action_id.index
+    greens: Dict[int, Action] = {}
+    for record in store.wal.recover_kind("green"):
+        position, action = record.data
+        greens[position] = action
+    position = base_green
+    while position in greens:
+        action = greens[position]
+        # The creator may have left the system since (its own
+        # PERSISTENT_LEAVE is such a green): replay under a temporary
+        # cut entry; the persisted server list prevails afterwards.
+        if action.server_id not in engine.queue.red_cut:
+            engine.queue.add_server(action.server_id)
+        engine.queue.mark_red(action)
+        engine.queue.mark_green(action)
+        engine.database.apply(action)
+        position += 1
+    engine.queue.set_green_line(engine.server_id, engine.queue.green_count)
+    if servers:
+        for extra in [s for s in engine.queue.servers
+                      if s not in set(servers)]:
+            engine.queue.remove_server(extra)
+
+    # 2. red actions snapshot from the last exchange, then A.13 proper
+    for action in view.get("red_actions", []) or []:
+        engine.queue.mark_red(action)
+    for record in store.wal.recover_kind("ongoing"):
+        action = record.data
+        engine.ongoing[action.action_id] = action
+    for action_id in sorted(engine.ongoing):
+        action = engine.ongoing[action_id]
+        if engine.queue.red_cut.get(engine.server_id, 0) \
+                == action_id.index - 1:
+            engine.queue.mark_red(action)
+
+    # 3. persistent records
+    prim = view.get("prim_component")
+    if prim is not None:
+        engine.prim_component = PrimComponent(
+            prim_index=prim.prim_index,
+            attempt_index=prim.attempt_index,
+            servers=tuple(prim.servers))
+    vulnerable = view.get("vulnerable")
+    if vulnerable is not None:
+        engine.vulnerable = Vulnerable(
+            status=vulnerable.status, prim_index=vulnerable.prim_index,
+            attempt_index=vulnerable.attempt_index,
+            set=tuple(vulnerable.set), bits=dict(vulnerable.bits))
+    yellow = view.get("yellow")
+    if yellow is not None:
+        engine.yellow = Yellow(status=yellow.status, set=list(yellow.set))
+        # Drop yellow validity if any payload did not survive the
+        # crash — the record is then no better than red knowledge.
+        if engine.yellow.is_valid:
+            for action_id in engine.yellow.set:
+                if engine.queue.find(action_id) is None:
+                    engine.yellow.invalidate()
+                    break
+    engine.attempt_index = view.get("attempt_index", 0)
+    engine.removed_servers = set(view.get("removed_servers", []))
+    engine.action_index = max(view.get("action_index", 0),
+                              max((a.index for a in engine.ongoing),
+                                  default=0))
+    for server, line in (view.get("green_lines") or {}).items():
+        if server in engine.queue.green_lines:
+            engine.queue.set_green_line(server, line)
+
+    engine.state = EngineState.NON_PRIM
+    engine._persist_records()
+    store.sync()

@@ -1,0 +1,258 @@
+"""Replica: the full per-node stack.
+
+Wires together one node's disk, write-ahead log, stable store, database,
+group communication daemon, reliable channel endpoint, and replication
+engine — the three processes of the paper's node model (database server,
+replication engine, group communication layer) plus the stable storage
+they share.  Handles crash/recovery as a unit: "the crash of any of the
+components running on a node ... is treated as a global node crash".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..db import Action, ActionId, ActionType, Database, DirtyView
+from ..gcs import (GcsDaemon, GcsSettings, GroupChannel,
+                   ReliableChannelEndpoint)
+from ..net import Datagram, Network
+from ..sim import ServiceQueue, Simulator, Timer, Tracer
+from ..storage import DiskProfile, SimulatedDisk, StableStore, WriteAheadLog
+from .engine import EngineConfig, EngineHooks, ReplicationEngine
+from .recovery import recover_engine
+from .reconfig import JoinRequest, RepresentativeRole, make_leave_action
+from .state_machine import EngineState
+
+Completion = Callable[[Action, int, Any], None]
+
+
+class _ReplicaHooks(EngineHooks):
+    """Engine upcalls routed to the owning replica."""
+
+    def __init__(self, replica: "Replica"):
+        self.replica = replica
+
+    def on_green(self, action: Action, position: int, result: Any) -> None:
+        self.replica._on_green(action, position, result)
+
+    def on_red(self, action: Action) -> None:
+        self.replica._on_red(action)
+
+    def on_state_change(self, old: EngineState, new: EngineState) -> None:
+        for listener in self.replica._state_listeners:
+            listener(old, new)
+
+    def start_transfer(self, join_action: Action, position: int) -> None:
+        self.replica.representative.start_transfer(join_action, position)
+
+    def on_exit(self) -> None:
+        self.replica._on_engine_exit()
+
+
+class Replica:
+    """One node of the replicated database system."""
+
+    def __init__(self, sim: Simulator, node: int, network: Network,
+                 directory: set, server_ids: List[int],
+                 disk_profile: Optional[DiskProfile] = None,
+                 gcs_settings: Optional[GcsSettings] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.node = node
+        self.network = network
+        self.tracer = tracer or Tracer(enabled=False)
+        self.server_ids = list(server_ids)
+        self.engine_config = engine_config or EngineConfig()
+
+        self.disk = SimulatedDisk(sim, node, disk_profile, self.tracer)
+        self.wal = WriteAheadLog(self.disk)
+        self.store = StableStore(self.wal)
+        self.database = Database()
+        self.dirty_view = DirtyView(self.database)
+
+        self.daemon = GcsDaemon(sim, node, network, directory,
+                                gcs_settings, self.tracer,
+                                extra_dispatch=self._extra_dispatch)
+        self.channel = GroupChannel(self.daemon)
+        self.endpoint = ReliableChannelEndpoint(sim, node, network,
+                                                self._on_channel_message)
+        self.engine = ReplicationEngine(
+            sim, node, self.channel, self.store, self.database,
+            self.server_ids, self.engine_config, _ReplicaHooks(self),
+            self.tracer)
+        self.representative = RepresentativeRole(self)
+        self.joiner: Optional[Any] = None   # set by cluster for joiners
+
+        self.cpu = ServiceQueue(sim)
+        # Deterministic procedures (active actions) are code, not
+        # data: they must survive crash recovery and be identical at
+        # every replica.  Register through the replica, never directly
+        # on the database, so recovery can re-install them before the
+        # green replay.
+        self.procedures: Dict[str, Any] = {}
+        self._pending: Dict[ActionId, Completion] = {}
+        self._green_listeners: List[Callable[[Action, int, Any], None]] = []
+        self._red_listeners: List[Callable[[Action], None]] = []
+        self._state_listeners: List[
+            Callable[[EngineState, EngineState], None]] = []
+        self._checkpoint = Timer(sim, self._do_checkpoint,
+                                 self.engine_config.checkpoint_interval,
+                                 periodic=True)
+        self.running = False
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def start(self, join_group: bool = True) -> None:
+        """Boot the node; optionally join the replication group."""
+        self.daemon.start()
+        self.endpoint.start()
+        self._checkpoint.start()
+        self.running = True
+        if join_group:
+            self.daemon.join()
+
+    def crash(self) -> None:
+        """Node crash: all volatile state is lost."""
+        self.running = False
+        self.daemon.crash()
+        self.endpoint.stop()
+        self._checkpoint.stop()
+        self.disk.crash()
+        self.store.crash()
+        self.cpu.reset()
+        self._pending = {}
+        self.tracer.emit(self.sim.now, self.node, "replica.crash")
+
+    def register_procedure(self, name: str, procedure: Any) -> None:
+        """Register a deterministic procedure, durably across
+        recoveries.  Must be performed identically at every replica."""
+        self.procedures[name] = procedure
+        self.database.register_procedure(name, procedure)
+
+    def recover(self) -> None:
+        """Recover from stable storage and rejoin (A.13)."""
+        self.database = Database()
+        for name, procedure in self.procedures.items():
+            self.database.register_procedure(name, procedure)
+        self.dirty_view = DirtyView(self.database)
+        self.engine = ReplicationEngine(
+            self.sim, self.node, self.channel, self.store, self.database,
+            [self.node], self.engine_config, _ReplicaHooks(self),
+            self.tracer)
+        recover_engine(self.engine)
+        self.daemon.recover()
+        self.endpoint.start()
+        self._checkpoint.start()
+        self.running = True
+        self.daemon.join()
+        self.tracer.emit(self.sim.now, self.node, "replica.recover")
+
+    def leave(self) -> ActionId:
+        """Voluntarily and permanently leave the replicated system."""
+        action = make_leave_action(self.engine, self.node)
+        self.engine.submit_action(action)
+        return action.action_id
+
+    def remove_dead_replica(self, dead_server: int) -> ActionId:
+        """Administratively remove a permanently failed replica."""
+        action = make_leave_action(self.engine, dead_server)
+        self.engine.submit_action(action)
+        return action.action_id
+
+    def _on_engine_exit(self) -> None:
+        self.running = False
+        self.daemon.leave()
+        self._checkpoint.stop()
+
+    def _do_checkpoint(self) -> None:
+        if self.running and not self.engine.exited:
+            self.engine.checkpoint()
+
+    # ==================================================================
+    # client interface
+    # ==================================================================
+    def submit(self, update: Optional[Tuple], query: Optional[Tuple] = None,
+               client: Any = None,
+               on_complete: Optional[Completion] = None,
+               meta: Optional[dict] = None) -> ActionId:
+        """Submit an action; ``on_complete`` fires at global ordering."""
+        action_id = self.engine.submit(update=update, query=query,
+                                       client=client, meta=meta)
+        if on_complete is not None:
+            self._pending[action_id] = on_complete
+        return action_id
+
+    def query_consistent(self, query: Tuple) -> Any:
+        """Strict-consistency read of the local green state.
+
+        Only meaningful while in a primary component; Section 6's weak
+        and dirty services live in :mod:`repro.semantics`.
+        """
+        return self.database.query(query)
+
+    # ==================================================================
+    # engine upcalls
+    # ==================================================================
+    def _on_green(self, action: Action, position: int, result: Any) -> None:
+        self.dirty_view.invalidate()
+        # Every replica pays the per-action processing cost; clients see
+        # their response once the replication server's CPU caught up.
+        ready = self.cpu.take(self.engine_config.apply_cpu)
+        completion = None
+        if action.server_id == self.node:
+            completion = self._pending.pop(action.action_id, None)
+        if completion is not None or self._green_listeners:
+            self.sim.schedule_at(ready, self._notify_green, action,
+                                 position, result, completion)
+
+    def _notify_green(self, action: Action, position: int, result: Any,
+                      completion: Optional[Completion]) -> None:
+        if not self.running:
+            return
+        if completion is not None:
+            completion(action, position, result)
+        for listener in self._green_listeners:
+            listener(action, position, result)
+
+    def _on_red(self, action: Action) -> None:
+        for listener in self._red_listeners:
+            listener(action)
+
+    def add_green_listener(self, listener: Callable[[Action, int, Any],
+                                                    None]) -> None:
+        self._green_listeners.append(listener)
+
+    def add_red_listener(self, listener: Callable[[Action], None]) -> None:
+        self._red_listeners.append(listener)
+
+    def add_state_listener(self, listener: Callable[
+            [EngineState, EngineState], None]) -> None:
+        self._state_listeners.append(listener)
+
+    # ==================================================================
+    # channel plumbing (join/transfer protocol)
+    # ==================================================================
+    def _extra_dispatch(self, datagram: Datagram) -> bool:
+        return self.endpoint.on_datagram(datagram)
+
+    def _on_channel_message(self, peer: int, payload: Any) -> None:
+        if self.joiner is not None and self.joiner.on_message(payload):
+            return
+        if isinstance(payload, JoinRequest):
+            self.representative.on_join_request(payload)
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    @property
+    def state(self) -> EngineState:
+        return self.engine.state
+
+    @property
+    def green_count(self) -> int:
+        return self.engine.queue.green_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Replica {self.node} {self.engine.state}>"

@@ -1,0 +1,78 @@
+"""Engine states and the legal transition table (Figure 4).
+
+The table is used as an executable assertion: every transition the
+engine takes is validated against it, so a protocol bug surfaces as an
+immediate error instead of silent divergence.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet
+
+
+class EngineState(Enum):
+    """The eight states of the replication algorithm (Figure 4)."""
+
+    NON_PRIM = "NonPrim"
+    REG_PRIM = "RegPrim"
+    TRANS_PRIM = "TransPrim"
+    EXCHANGE_STATES = "ExchangeStates"
+    EXCHANGE_ACTIONS = "ExchangeActions"
+    CONSTRUCT = "Construct"
+    NO = "No"
+    UN = "Un"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: state -> set of states reachable in one transition (Figure 4 edges;
+#: self-loops are implicit and always allowed).
+TRANSITIONS: Dict[EngineState, FrozenSet[EngineState]] = {
+    EngineState.NON_PRIM: frozenset({
+        EngineState.EXCHANGE_STATES,
+    }),
+    EngineState.REG_PRIM: frozenset({
+        EngineState.TRANS_PRIM,
+    }),
+    EngineState.TRANS_PRIM: frozenset({
+        EngineState.EXCHANGE_STATES,
+    }),
+    EngineState.EXCHANGE_STATES: frozenset({
+        EngineState.EXCHANGE_ACTIONS,
+        EngineState.NON_PRIM,       # transitional conf during exchange
+        EngineState.CONSTRUCT,      # no-op retransmission fast path
+        EngineState.EXCHANGE_STATES,
+    }),
+    EngineState.EXCHANGE_ACTIONS: frozenset({
+        EngineState.CONSTRUCT,      # quorum -> attempt install
+        EngineState.NON_PRIM,       # no quorum, or transitional conf
+        EngineState.EXCHANGE_STATES,
+    }),
+    EngineState.CONSTRUCT: frozenset({
+        EngineState.REG_PRIM,       # all CPC delivered in regular conf
+        EngineState.NO,             # transitional conf first
+        EngineState.EXCHANGE_STATES,
+    }),
+    EngineState.NO: frozenset({
+        EngineState.UN,             # remaining CPCs arrived (trans conf)
+        EngineState.EXCHANGE_STATES,  # regular conf -> new exchange
+    }),
+    EngineState.UN: frozenset({
+        EngineState.TRANS_PRIM,     # an action proves someone installed
+        EngineState.EXCHANGE_STATES,  # regular conf (stay vulnerable)
+    }),
+}
+
+
+class IllegalTransition(Exception):
+    """The engine attempted a transition not in Figure 4."""
+
+
+def check_transition(old: EngineState, new: EngineState) -> None:
+    """Raise :class:`IllegalTransition` if ``old -> new`` is not legal."""
+    if old == new:
+        return
+    if new not in TRANSITIONS[old]:
+        raise IllegalTransition(f"{old} -> {new}")

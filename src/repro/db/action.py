@@ -1,0 +1,101 @@
+"""Actions and action identifiers.
+
+An *action* is the unit of replication (Section 2.2): a deterministic
+transition from one database state to the next, with a query part and an
+update part, either of which may be missing.  Actions are identified by
+``ActionId(server_id, action_index)`` — the creating server and a
+per-server counter — exactly the paper's data structure.
+
+Action types (Section 5.1): regular ``ACTION`` plus the two
+reconfiguration actions ``PERSISTENT_JOIN`` and ``PERSISTENT_LEAVE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+
+class ActionType(Enum):
+    """Kinds of ordered actions."""
+
+    ACTION = "action"
+    PERSISTENT_JOIN = "persistent_join"
+    PERSISTENT_LEAVE = "persistent_leave"
+
+
+@dataclass(frozen=True, order=True)
+class ActionId:
+    """Identifier of an action: creating server + per-server index.
+
+    The order relation is lexicographic and used only as a stable
+    tie-break; the *global* order of actions is decided by the
+    replication protocol, not by the id.
+    """
+
+    server_id: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.server_id}:{self.index}"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One replicated action message.
+
+    Fields follow the paper's Action message structure:
+
+    action_id   identifier (creating server, index)
+    green_line  the creator's last green action id at creation time
+                (used for white-line computation / garbage collection)
+    client      identifier of the requesting client
+    query       read part: evaluated against the database state at the
+                point the action is ordered; ``None`` for pure updates
+    update      write part: a tuple of statements understood by
+                :mod:`repro.db.sql`, or ``("CALL", name, args)`` for an
+                active action; ``None`` for pure queries
+    type        ACTION / PERSISTENT_JOIN / PERSISTENT_LEAVE
+    join_id     for PERSISTENT_JOIN: the id of the joining server
+    leave_id    for PERSISTENT_LEAVE: the id of the leaving server
+    size        wire size in bytes (the paper uses 200-byte actions)
+    meta        free-form application metadata (e.g. timestamps for the
+                timestamp-update semantics)
+    """
+
+    action_id: ActionId
+    green_line: Optional[ActionId] = None
+    client: Optional[Any] = None
+    query: Optional[Tuple] = None
+    update: Optional[Tuple] = None
+    type: ActionType = ActionType.ACTION
+    join_id: Optional[int] = None
+    leave_id: Optional[int] = None
+    size: int = 200
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def server_id(self) -> int:
+        return self.action_id.server_id
+
+    @property
+    def is_query_only(self) -> bool:
+        return self.update is None and self.type is ActionType.ACTION
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"Action[{self.action_id}/{self.type.value}]"
+
+
+def join_action(action_id: ActionId, joining_server: int,
+                green_line: Optional[ActionId] = None) -> Action:
+    """Build a PERSISTENT_JOIN announcing ``joining_server``."""
+    return Action(action_id=action_id, green_line=green_line,
+                  type=ActionType.PERSISTENT_JOIN, join_id=joining_server)
+
+
+def leave_action(action_id: ActionId, leaving_server: int,
+                 green_line: Optional[ActionId] = None) -> Action:
+    """Build a PERSISTENT_LEAVE removing ``leaving_server``."""
+    return Action(action_id=action_id, green_line=green_line,
+                  type=ActionType.PERSISTENT_LEAVE, leave_id=leaving_server)

@@ -1,0 +1,281 @@
+"""Per-view total ordering and stability tracking.
+
+Within one regular configuration, the lowest-id member acts as the
+*sequencer*: it assigns consecutive sequence numbers to data messages
+(per-origin in FIFO order; stamps are multicast in small batches).
+Every member tracks, per view:
+
+* which (origin, fifo_seq) data messages it holds,
+* which sequence numbers are stamped and with what,
+* each member's cumulative receipt acknowledgment (for stability).
+
+A message is *deliverable* at position ``s`` when all positions below
+``s`` were consumed, its stamp and payload are present, and — for SAFE
+service — ``s`` is within the stability line (every view member acked
+receipt of everything up to ``s``).  This is precisely the safe-delivery
+guarantee the replication algorithm relies on (Section 4.1): if any
+member delivers ``m`` as safe in the regular configuration, every member
+holds ``m`` and will deliver it, at worst in its transitional
+configuration, unless it crashes.
+
+Delivered-and-stable prefixes are pruned (:meth:`prune_stable`) so that
+memory and flush state-report sizes stay proportional to the *unstable
+suffix*, not the view's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .types import DataMsg, ServiceLevel, StateReportMsg, ViewId
+
+Key = Tuple[int, int]  # (origin, fifo_seq)
+
+
+class ViewOrdering:
+    """Ordering/stability bookkeeping for one regular configuration."""
+
+    def __init__(self, view_id: ViewId, members: FrozenSet[int], me: int,
+                 mode: str = "sequencer"):
+        self.view_id = view_id
+        self.members = frozenset(members)
+        self.me = me
+        self.mode = mode
+        self.sequencer = min(self.members)
+        # -- data plane --------------------------------------------------
+        self.data: Dict[Key, DataMsg] = {}
+        self.stamp_of: Dict[Key, int] = {}
+        self.key_at: Dict[int, Key] = {}
+        self.max_stamp = -1
+        # duplicate filter for pruned history: per-origin fifo floor
+        self.fifo_floor: Dict[int, int] = {m: 0 for m in self.members}
+        # -- sequencer role ----------------------------------------------
+        self.next_seq = 0
+        self.pending_stamp: List[Key] = []
+        # per-origin next fifo_seq to stamp (stamps are FIFO per origin)
+        self.fifo_stamp_next: Dict[int, int] = {m: 0 for m in self.members}
+        # -- fifo send counter -------------------------------------------
+        self.fifo_out = 0
+        # -- receipt / stability ------------------------------------------
+        self.ack_seq = -1            # my cumulative contiguous receipt
+        self.acks: Dict[int, int] = {m: -1 for m in self.members}
+        self.last_acked_sent = -1
+        # -- delivery ------------------------------------------------------
+        self.delivered_seq = -1
+        self.pruned_below = 0        # seqs < pruned_below were discarded
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def add_data(self, msg: DataMsg) -> bool:
+        """Store a data message; returns True if it is new."""
+        key = (msg.origin, msg.fifo_seq)
+        if key in self.data:
+            return False
+        if msg.fifo_seq < self.fifo_floor.get(msg.origin, 0):
+            return False  # duplicate of an already-pruned message
+        self.data[key] = msg
+        if self.mode == "sequencer" and self.me == self.sequencer:
+            self._stamp_contiguous(msg.origin)
+        self._advance_ack()
+        return True
+
+    def _stamp_contiguous(self, origin: int) -> None:
+        """(Sequencer) queue origin's contiguous unstamped fifo prefix."""
+        nxt = self.fifo_stamp_next.get(origin, 0)
+        while (origin, nxt) in self.data:
+            key = (origin, nxt)
+            if key not in self.stamp_of:
+                self.pending_stamp.append(key)
+            nxt += 1
+        self.fifo_stamp_next[origin] = nxt
+
+    def take_stamp_batch(self) -> List[Tuple[int, int, int]]:
+        """(Sequencer) assign sequence numbers to pending data."""
+        batch: List[Tuple[int, int, int]] = []
+        for key in self.pending_stamp:
+            if key in self.stamp_of:
+                continue
+            seq = self.next_seq
+            self.next_seq += 1
+            self._record_stamp(seq, key)
+            batch.append((seq, key[0], key[1]))
+        self.pending_stamp = []
+        self._advance_ack()
+        return batch
+
+    def take_own_stamp_batch(self, next_seq: int
+                             ) -> List[Tuple[int, int, int]]:
+        """(Token mode) stamp my own pending data from ``next_seq``.
+
+        Called while holding the token; returns the stamp batch to
+        multicast.  The caller advances the token by ``len(batch)``.
+        """
+        batch: List[Tuple[int, int, int]] = []
+        nxt = self.fifo_stamp_next.get(self.me, 0)
+        # Skip over the pruned/duplicate-filtered prefix.
+        nxt = max(nxt, self.fifo_floor.get(self.me, 0))
+        while (self.me, nxt) in self.data:
+            key = (self.me, nxt)
+            if key not in self.stamp_of:
+                self._record_stamp(next_seq, key)
+                batch.append((next_seq, self.me, nxt))
+                next_seq += 1
+            nxt += 1
+        self.fifo_stamp_next[self.me] = nxt
+        self._advance_ack()
+        return batch
+
+    def add_stamps(self, stamps: Tuple[Tuple[int, int, int], ...]) -> None:
+        for seq, origin, fifo_seq in stamps:
+            if seq < self.pruned_below:
+                continue
+            self._record_stamp(seq, (origin, fifo_seq))
+        self._advance_ack()
+
+    def _record_stamp(self, seq: int, key: Key) -> None:
+        if seq in self.key_at:
+            return
+        self.key_at[seq] = key
+        self.stamp_of[key] = seq
+        if seq > self.max_stamp:
+            self.max_stamp = seq
+        if self.me != self.sequencer and seq >= self.next_seq:
+            self.next_seq = seq + 1
+
+    def add_ack(self, node: int, ack_seq: int) -> None:
+        if node in self.acks and ack_seq > self.acks[node]:
+            self.acks[node] = ack_seq
+
+    def _advance_ack(self) -> None:
+        s = self.ack_seq + 1
+        while s in self.key_at and self.key_at[s] in self.data:
+            self.ack_seq = s
+            s += 1
+        if self.acks.get(self.me, -1) < self.ack_seq:
+            self.acks[self.me] = self.ack_seq
+
+    # ------------------------------------------------------------------
+    # stability & delivery
+    # ------------------------------------------------------------------
+    @property
+    def stability_line(self) -> int:
+        """Highest seq known to be received by every view member."""
+        return min(self.acks.get(m, -1) for m in self.members)
+
+    def pop_deliverable(self) -> List[Tuple[int, DataMsg]]:
+        """Messages deliverable now, in order; advances delivered_seq."""
+        out: List[Tuple[int, DataMsg]] = []
+        stable = self.stability_line
+        while True:
+            s = self.delivered_seq + 1
+            key = self.key_at.get(s)
+            if key is None or key not in self.data:
+                break
+            msg = self.data[key]
+            if msg.service.needs_stability and s > stable:
+                break
+            self.delivered_seq = s
+            out.append((s, msg))
+        return out
+
+    def needs_ack(self) -> bool:
+        """True when peers have not seen our latest receipt progress."""
+        return self.ack_seq > self.last_acked_sent
+
+    def note_ack_sent(self) -> None:
+        self.last_acked_sent = self.ack_seq
+
+    # ------------------------------------------------------------------
+    # pruning (garbage collection of the stable, delivered prefix)
+    # ------------------------------------------------------------------
+    def prune_stable(self) -> int:
+        """Discard messages both delivered here and stable everywhere.
+
+        Returns the number of messages discarded.  Nothing below the
+        prune point can ever be needed again: every member holds it
+        (stability) and we already delivered it.
+        """
+        limit = min(self.delivered_seq, self.stability_line)
+        pruned = 0
+        for seq in range(self.pruned_below, limit + 1):
+            key = self.key_at.pop(seq, None)
+            if key is None:
+                continue
+            self.stamp_of.pop(key, None)
+            if self.data.pop(key, None) is not None:
+                pruned += 1
+            origin, fifo = key
+            if fifo >= self.fifo_floor.get(origin, 0):
+                self.fifo_floor[origin] = fifo + 1
+        self.pruned_below = max(self.pruned_below, limit + 1)
+        return pruned
+
+    # ------------------------------------------------------------------
+    # gap detection (NACK-based loss recovery)
+    # ------------------------------------------------------------------
+    def missing_data_seqs(self) -> List[int]:
+        """Stamped positions up to max_stamp whose payload we lack."""
+        return [s for s in range(self.delivered_seq + 1, self.max_stamp + 1)
+                if s in self.key_at and self.key_at[s] not in self.data]
+
+    def has_stamp_gap(self) -> bool:
+        """True if some position below max_stamp has no known stamp."""
+        return any(s not in self.key_at
+                   for s in range(self.delivered_seq + 1, self.max_stamp))
+
+    def has_unstamped_foreign_data(self) -> bool:
+        """(Non-sequencer) data held with no stamp for it: the stamp
+        batch was lost in transit — grounds for a NACK even when no
+        later stamp ever arrived (max_stamp never advanced)."""
+        if self.me == self.sequencer:
+            return False
+        return any(key not in self.stamp_of for key in self.data)
+
+    def retrans_items(self, seqs: List[int]) -> List[Tuple]:
+        """Build retransmission payloads for stamped seqs we hold."""
+        items: List[Tuple] = []
+        for s in seqs:
+            key = self.key_at.get(s)
+            if key is None or key not in self.data:
+                continue
+            msg = self.data[key]
+            items.append((s, msg.origin, msg.fifo_seq, msg.payload,
+                          msg.service, msg.size))
+        return items
+
+    def accept_retrans(self, items: Tuple[Tuple, ...]) -> None:
+        for seq, origin, fifo_seq, payload, service, size in items:
+            if seq < self.pruned_below:
+                continue
+            self._record_stamp(seq, (origin, fifo_seq))
+            key = (origin, fifo_seq)
+            if key not in self.data:
+                self.data[key] = DataMsg(self.view_id, origin, fifo_seq,
+                                         payload, service, size)
+        self._advance_ack()
+
+    # ------------------------------------------------------------------
+    # flush support (membership change)
+    # ------------------------------------------------------------------
+    def state_report(self, node: int, attempt: int) -> StateReportMsg:
+        stamps = tuple((s, k[0], k[1])
+                       for s, k in sorted(self.key_at.items()))
+        have = tuple(s for s, k in sorted(self.key_at.items())
+                     if k in self.data)
+        return StateReportMsg(
+            node=node, attempt=attempt, old_view_id=self.view_id,
+            stamps=stamps, have_data=have, ack_seq=self.ack_seq,
+            stability_line=self.stability_line,
+            delivered_seq=self.delivered_seq,
+            old_members=tuple(sorted(self.members)))
+
+    def unstamped_own(self) -> List[DataMsg]:
+        """My own data messages never stamped (to re-submit next view)."""
+        return [msg for key, msg in sorted(self.data.items())
+                if key[0] == self.me and key not in self.stamp_of]
+
+    def undelivered_stamped(self) -> List[int]:
+        """Stamped seqs above the delivered prefix that we hold."""
+        return [s for s in sorted(self.key_at)
+                if s > self.delivered_seq and self.key_at[s] in self.data]

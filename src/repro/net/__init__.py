@@ -1,0 +1,26 @@
+"""Partitionable network substrate.
+
+Unreliable datagram fabric with latency/bandwidth/loss models, a
+partition/crash topology, and scripted or randomized fault injection.
+"""
+
+from .faults import FaultEvent, FaultScript, random_fault_schedule
+from .latency import (NetworkProfile, lan_profile,
+                      lossless_instant_profile, wan_profile)
+from .message import Datagram
+from .network import Network
+from .topology import Topology, TopologyError
+
+__all__ = [
+    "Datagram",
+    "FaultEvent",
+    "FaultScript",
+    "Network",
+    "NetworkProfile",
+    "Topology",
+    "TopologyError",
+    "lan_profile",
+    "lossless_instant_profile",
+    "random_fault_schedule",
+    "wan_profile",
+]

@@ -1,0 +1,148 @@
+"""Scripted and randomized fault injection.
+
+``FaultScript`` schedules a sequence of topology mutations at virtual
+times; ``random_fault_schedule`` draws partition/merge/crash/recover
+sequences from a seeded stream for property-based tests of the
+replication invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sim import Simulator
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``op`` applied at virtual ``time``.
+
+    op is one of 'partition', 'merge', 'heal', 'crash', 'recover',
+    'isolate'.  ``arg`` carries the operand (groups for partition, node
+    for crash/recover/isolate, node groups for merge).
+    """
+
+    time: float
+    op: str
+    arg: object = None
+
+    def apply(self, topology: Topology) -> None:
+        if self.op == "partition":
+            topology.partition(self.arg)
+        elif self.op == "merge":
+            topology.merge(*self.arg)
+        elif self.op == "heal":
+            topology.heal()
+        elif self.op == "crash":
+            topology.crash(self.arg)
+        elif self.op == "recover":
+            topology.recover(self.arg)
+        elif self.op == "isolate":
+            topology.isolate(self.arg)
+        else:
+            raise ValueError(f"unknown fault op {self.op!r}")
+
+
+@dataclass
+class FaultScript:
+    """An ordered fault schedule that installs itself on a simulator."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def partition(self, time: float, groups: Sequence[Sequence[int]]
+                  ) -> "FaultScript":
+        self.events.append(FaultEvent(time, "partition",
+                                      [list(g) for g in groups]))
+        return self
+
+    def merge(self, time: float, *groups: Sequence[int]) -> "FaultScript":
+        self.events.append(FaultEvent(time, "merge",
+                                      [list(g) for g in groups]))
+        return self
+
+    def heal(self, time: float) -> "FaultScript":
+        self.events.append(FaultEvent(time, "heal"))
+        return self
+
+    def crash(self, time: float, node: int) -> "FaultScript":
+        self.events.append(FaultEvent(time, "crash", node))
+        return self
+
+    def recover(self, time: float, node: int) -> "FaultScript":
+        self.events.append(FaultEvent(time, "recover", node))
+        return self
+
+    def isolate(self, time: float, node: int) -> "FaultScript":
+        self.events.append(FaultEvent(time, "isolate", node))
+        return self
+
+    def install(self, sim: Simulator, topology: Topology,
+                on_event: Optional[Callable[[FaultEvent], None]] = None
+                ) -> None:
+        """Schedule every event on ``sim`` against ``topology``."""
+        for event in sorted(self.events, key=lambda e: e.time):
+            def fire(ev: FaultEvent = event) -> None:
+                ev.apply(topology)
+                if on_event is not None:
+                    on_event(ev)
+            sim.schedule_at(event.time, fire)
+
+
+def random_partition(nodes: Sequence[int], rng: random.Random
+                     ) -> List[List[int]]:
+    """Split ``nodes`` into 1..3 random non-empty groups."""
+    nodes = list(nodes)
+    rng.shuffle(nodes)
+    k = rng.randint(1, min(3, len(nodes)))
+    cuts = sorted(rng.sample(range(1, len(nodes)), k - 1)) if k > 1 else []
+    groups, prev = [], 0
+    for cut in cuts + [len(nodes)]:
+        groups.append(nodes[prev:cut])
+        prev = cut
+    return groups
+
+
+def random_fault_schedule(nodes: Sequence[int], rng: random.Random,
+                          horizon: float, rate: float = 1.0,
+                          allow_crashes: bool = True) -> FaultScript:
+    """Draw a random fault schedule over ``[0, horizon]``.
+
+    ``rate`` is the mean number of fault events per second.  The
+    schedule always ends with full recovery + heal so liveness
+    properties can be checked after quiescence.
+    """
+    script = FaultScript()
+    time = 0.0
+    crashed: set = set()
+    while True:
+        time += rng.expovariate(rate) if rate > 0 else horizon + 1
+        if time >= horizon:
+            break
+        ops = ["partition", "heal"]
+        if allow_crashes:
+            ops.append("crash")
+            if crashed:
+                ops.append("recover")
+        op = rng.choice(ops)
+        if op == "partition":
+            script.partition(time, random_partition(nodes, rng))
+        elif op == "heal":
+            script.heal(time)
+        elif op == "crash":
+            alive = [n for n in nodes if n not in crashed]
+            if len(alive) <= 1:
+                continue
+            node = rng.choice(alive)
+            crashed.add(node)
+            script.crash(time, node)
+        elif op == "recover":
+            node = rng.choice(sorted(crashed))
+            crashed.discard(node)
+            script.recover(time, node)
+    for node in sorted(crashed):
+        script.recover(horizon, node)
+    script.heal(horizon)
+    return script

@@ -1,0 +1,71 @@
+"""Latency, bandwidth, and loss models for the simulated fabric.
+
+The paper's testbed is a 100 Mbit/s switched LAN of 14 machines.  The
+default parameters model that: ~0.15 ms propagation + switching delay,
+100 Mbit/s serialization, small deterministic-seeded jitter, no loss.
+WAN-ish profiles are provided for the availability ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class NetworkProfile:
+    """Parameters of the link model.
+
+    propagation_delay   one-way latency excluding serialization (seconds)
+    bandwidth           link rate in bytes/second (serialization delay =
+                        size / bandwidth, paid once per send at the
+                        sender's egress port)
+    send_overhead       fixed per-send CPU/NIC cost at the sender
+    recv_overhead       fixed per-receive CPU cost at the receiver
+    jitter              max uniform jitter added to propagation (seconds)
+    loss_rate           iid drop probability per datagram
+    """
+
+    propagation_delay: float = 0.00015
+    bandwidth: float = 100e6 / 8
+    send_overhead: float = 0.000020
+    recv_overhead: float = 0.000030
+    jitter: float = 0.00002
+    loss_rate: float = 0.0
+
+    def serialization_delay(self, size: int) -> float:
+        if self.bandwidth <= 0:
+            return 0.0
+        return size / self.bandwidth
+
+    def sample_jitter(self, rng: Optional[random.Random]) -> float:
+        if self.jitter <= 0 or rng is None:
+            return 0.0
+        return rng.uniform(0.0, self.jitter)
+
+    def drops(self, rng: Optional[random.Random]) -> bool:
+        if self.loss_rate <= 0 or rng is None:
+            return False
+        return rng.random() < self.loss_rate
+
+
+def lan_profile(**overrides: float) -> NetworkProfile:
+    """The paper's testbed: 100 Mbit/s switched LAN."""
+    return NetworkProfile(**overrides)
+
+
+def wan_profile(**overrides: float) -> NetworkProfile:
+    """A wide-area profile (used by ablations): 40 ms one-way,
+    10 Mbit/s, mild loss."""
+    params = dict(propagation_delay=0.040, bandwidth=10e6 / 8,
+                  jitter=0.004, loss_rate=0.001)
+    params.update(overrides)
+    return NetworkProfile(**params)
+
+
+def lossless_instant_profile() -> NetworkProfile:
+    """Zero-cost network for pure-algorithm unit tests."""
+    return NetworkProfile(propagation_delay=0.0, bandwidth=0.0,
+                          send_overhead=0.0, recv_overhead=0.0,
+                          jitter=0.0, loss_rate=0.0)

@@ -1,0 +1,31 @@
+"""Datagram envelope used by the simulated network fabric."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_datagram_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One unreliable datagram in flight.
+
+    ``payload`` is an arbitrary (treated as immutable) protocol message.
+    ``size`` is the wire size in bytes used by the bandwidth model; the
+    paper's workload uses 200-byte actions, and protocol layers add their
+    own header estimates.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    size: int = 200
+    sent_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_datagram_ids))
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Datagram#{self.uid} {self.src}->{self.dst} "
+                f"{type(self.payload).__name__} {self.size}B")

@@ -1,0 +1,181 @@
+"""The network fabric: unreliable datagram delivery with queueing.
+
+Delivery pipeline for one datagram::
+
+    sender egress port (FIFO, send_overhead + size/bandwidth)
+      -> propagation (+ seeded jitter)
+        -> receiver ingress port (FIFO, recv_overhead)
+          -> handler callback
+
+Reachability (:class:`~repro.net.topology.Topology`) is checked both at
+send time and at delivery time, so a partition cuts messages already in
+flight — exactly the situation Extended Virtual Synchrony exists to
+handle.  A multicast pays the sender's egress serialization once and
+fans out to each destination (hardware multicast on a LAN, as used by
+Spread).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from ..sim import Simulator, Tracer
+from .latency import NetworkProfile
+from .message import Datagram
+from .topology import Topology
+
+Handler = Callable[[Datagram], None]
+
+
+class _Port:
+    """FIFO service queues for one node's NIC (egress and ingress)."""
+
+    __slots__ = ("egress_free_at", "ingress_free_at")
+
+    def __init__(self) -> None:
+        self.egress_free_at = 0.0
+        self.ingress_free_at = 0.0
+
+    def reset(self) -> None:
+        self.egress_free_at = 0.0
+        self.ingress_free_at = 0.0
+
+
+class Network:
+    """Datagram fabric over a :class:`Topology`."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 profile: Optional[NetworkProfile] = None,
+                 rng=None, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.topology = topology
+        self.profile = profile or NetworkProfile()
+        self.rng = rng
+        self.tracer = tracer or Tracer(enabled=False)
+        self._handlers: Dict[int, Handler] = {}
+        self._ports: Dict[int, _Port] = {}
+        # Optional adversarial hook: called per datagram at send time;
+        # returns True (deliver), False (drop), or a float (extra delay
+        # in seconds).  Used by targeted fault-injection tests.
+        self.interceptor: Optional[Callable[[Datagram], object]] = None
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, node: int, handler: Handler) -> None:
+        """Bind ``handler`` as the receive callback for ``node``."""
+        self._handlers[node] = handler
+        self._ports.setdefault(node, _Port())
+
+    def detach(self, node: int) -> None:
+        """Silence a node (crash): future deliveries to it are dropped."""
+        self._handlers.pop(node, None)
+        port = self._ports.get(node)
+        if port is not None:
+            port.reset()
+
+    def is_attached(self, node: int) -> bool:
+        return node in self._handlers
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any,
+             size: int = 200) -> None:
+        """Send one unicast datagram (fire and forget)."""
+        self._send_batch(src, (dst,), payload, size)
+
+    def multicast(self, src: int, dsts: Iterable[int], payload: Any,
+                  size: int = 200) -> None:
+        """Send to several destinations with a single egress serialization.
+
+        The source is *not* implicitly included; GCS layers that need
+        self-delivery handle it themselves (loopback is free and
+        immediate on real stacks; here it costs one ingress service).
+        """
+        self._send_batch(src, tuple(dsts), payload, size)
+
+    def _send_batch(self, src: int, dsts: Iterable[int], payload: Any,
+                    size: int) -> None:
+        if not self.topology.is_alive(src) or src not in self._handlers:
+            return
+        port = self._ports.setdefault(src, _Port())
+        start = max(self.sim.now, port.egress_free_at)
+        done = (start + self.profile.send_overhead
+                + self.profile.serialization_delay(size))
+        port.egress_free_at = done
+        self.datagrams_sent += 1
+        self.bytes_sent += size
+        for dst in dsts:
+            datagram = Datagram(src=src, dst=dst, payload=payload,
+                                size=size, sent_at=self.sim.now)
+            if dst != src and not self.topology.reachable(src, dst):
+                self._drop(datagram, "unreachable_at_send")
+                continue
+            if self.profile.drops(self.rng):
+                self._drop(datagram, "loss")
+                continue
+            extra_delay = 0.0
+            if self.interceptor is not None:
+                verdict = self.interceptor(datagram)
+                if verdict is False:
+                    self._drop(datagram, "intercepted")
+                    continue
+                if isinstance(verdict, (int, float)) \
+                        and not isinstance(verdict, bool):
+                    extra_delay = float(verdict)
+            arrival = (done + self.profile.propagation_delay
+                       + self.profile.sample_jitter(self.rng)
+                       + extra_delay)
+            if dst == src:
+                arrival = done + extra_delay
+            self.sim.schedule_at(arrival, self._arrive, datagram)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _arrive(self, datagram: Datagram) -> None:
+        src, dst = datagram.src, datagram.dst
+        if dst != src and not self.topology.reachable(src, dst):
+            self._drop(datagram, "unreachable_at_delivery")
+            return
+        if not self.topology.is_alive(dst):
+            self._drop(datagram, "dst_crashed")
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._drop(datagram, "dst_detached")
+            return
+        port = self._ports.setdefault(dst, _Port())
+        ready = (max(self.sim.now, port.ingress_free_at)
+                 + self.profile.recv_overhead)
+        port.ingress_free_at = ready
+        self.sim.schedule_at(ready, self._deliver, datagram)
+
+    def _deliver(self, datagram: Datagram) -> None:
+        # Re-check at the actual delivery instant: the destination may
+        # have crashed or been cut off while queued at the ingress port.
+        if not self.topology.is_alive(datagram.dst):
+            self._drop(datagram, "dst_crashed")
+            return
+        if (datagram.dst != datagram.src and
+                not self.topology.reachable(datagram.src, datagram.dst)):
+            self._drop(datagram, "unreachable_at_delivery")
+            return
+        handler = self._handlers.get(datagram.dst)
+        if handler is None:
+            self._drop(datagram, "dst_detached")
+            return
+        self.datagrams_delivered += 1
+        self.tracer.emit(self.sim.now, datagram.dst, "net.deliver",
+                         src=datagram.src, size=datagram.size)
+        handler(datagram)
+
+    def _drop(self, datagram: Datagram, reason: str) -> None:
+        self.datagrams_dropped += 1
+        self.tracer.emit(self.sim.now, datagram.dst, "net.drop",
+                         src=datagram.src, reason=reason)

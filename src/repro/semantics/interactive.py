@@ -1,0 +1,67 @@
+"""Interactive transactions mimicked with two actions (Section 6).
+
+An interactive transaction reads data, lets a user (a non-deterministic
+process) decide, then writes.  The paper's construction:
+
+1. the first action reads the necessary data;
+2. the second is an *active* action that encapsulates the user's
+   update but first checks that the values read are still valid; if
+   not, the update is not applied — "as if the transaction was aborted
+   in the traditional sense".
+
+Because every replica applies the identical certification procedure to
+the identical state, "if one server aborts, all of the servers will
+abort that (trans)action".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .service import QueryService, ReplicatedService
+
+
+class InteractiveTransaction:
+    """One optimistic read-certify-write transaction."""
+
+    def __init__(self, service: ReplicatedService):
+        self.service = service
+        self.read_set: List[Tuple[str, Any]] = []
+        self._committed: Optional[bool] = None
+        self._submitted = False
+
+    # -- phase 1: read ----------------------------------------------------
+    def read(self, key: str,
+             query_service: QueryService = QueryService.WEAK) -> Any:
+        """Read ``key`` and remember the observed value."""
+        value = self.service.query(("GET", key), service=query_service)
+        self.read_set.append((key, value))
+        return value
+
+    # -- phase 2: certify + write ----------------------------------------
+    def commit(self, updates: Dict[str, Any],
+               on_done: Optional[Callable[[bool], None]] = None):
+        """Submit the certification action.
+
+        ``on_done(committed)`` reports whether the transaction applied
+        (True) or aborted because a read value changed (False) — the
+        decision is identical at every replica.
+        """
+        if self._submitted:
+            raise RuntimeError("transaction already committed")
+        self._submitted = True
+
+        def complete(_action, _position, result) -> None:
+            committed = bool(result and result[0])
+            self._committed = committed
+            if on_done is not None:
+                on_done(committed)
+
+        args = (tuple(self.read_set), tuple(sorted(updates.items())))
+        return self.service.update(("CALL", "certify", args),
+                                   on_complete=complete)
+
+    @property
+    def committed(self) -> Optional[bool]:
+        """None until the decision is ordered; then True/False."""
+        return self._committed

@@ -1,0 +1,49 @@
+"""Timestamp (last-writer-wins) update semantics (Section 6).
+
+"All updates are timestamped and the application only wants the
+information with the highest timestamp.  Therefore the actions don't
+need to be ordered."  One-copy serializability is not maintained during
+partitions, but after merge the database states converge — the
+``lww_set`` procedure is insensitive to application order.
+
+The canonical example is location tracking: every replica can accept
+position reports in any component; merging keeps the newest fix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from .service import QueryService, ReplicatedService
+
+
+class TimestampStore:
+    """Last-writer-wins registers over the replicated database."""
+
+    def __init__(self, service: ReplicatedService, prefix: str = "lww:"):
+        self.service = service
+        self.prefix = prefix
+
+    def _key(self, key: str) -> str:
+        return self.prefix + key
+
+    def set(self, key: str, value: Any, timestamp: float,
+            on_complete: Optional[Callable] = None):
+        """Write ``value`` with ``timestamp``; newest timestamp wins
+        regardless of the order the actions are finally applied in."""
+        return self.service.update(
+            ("CALL", "lww_set", (self._key(key), value, timestamp)),
+            on_complete=on_complete,
+            meta={"timestamp": timestamp})
+
+    def get(self, key: str,
+            service: QueryService = QueryService.DIRTY) -> Optional[Any]:
+        """Read the newest known value (DIRTY by default: the paper's
+        motivation is immediate answers from the latest information)."""
+        slot = self.service.query(("GET", self._key(key)), service=service)
+        return slot[0] if slot is not None else None
+
+    def get_with_timestamp(self, key: str,
+                           service: QueryService = QueryService.DIRTY
+                           ) -> Optional[Tuple[Any, float]]:
+        return self.service.query(("GET", self._key(key)), service=service)

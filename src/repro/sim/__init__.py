@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel (substrate).
+
+Provides the deterministic event loop, timers/actors, seeded randomness
+streams, and structured tracing that every other layer builds on.
+"""
+
+from .kernel import EventHandle, SimulationError, Simulator
+from .process import Actor, ServiceQueue, Timer
+from .rng import RandomStreams
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Actor",
+    "EventHandle",
+    "RandomStreams",
+    "SimulationError",
+    "ServiceQueue",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,185 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction — network, disks, group communication,
+the replication engine, the benchmark clients — runs on a single-threaded
+discrete-event simulator.  Components schedule callbacks at virtual
+timestamps; the kernel pops them in timestamp order (FIFO among equal
+timestamps) and invokes them.  Virtual time is a float number of seconds.
+
+Determinism is a hard requirement: two runs with the same seed and the
+same scenario must produce bit-identical traces.  The kernel therefore
+breaks timestamp ties with a monotonically increasing sequence number and
+never consults wall-clock time or unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped
+    when popped.  ``active`` is False once the event fired or was
+    cancelled.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else (
+            "fired" if self._fired else "pending")
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(0.5, callback, arg1, arg2)
+        sim.run()                 # run to quiescence
+        sim.run(until=10.0)       # or up to a virtual deadline
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})")
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        return handle
+
+    def call_soon(self, callback: Callable[..., None],
+                  *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current time (after the
+        currently-running event and anything already queued for now)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False when idle."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle._fired = True
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until quiescence, a deadline, or an event budget.
+
+        ``until`` is an absolute virtual time; events at exactly ``until``
+        still run.  ``max_events`` bounds the number of dispatches in this
+        call (a guard against livelock in buggy protocols under test).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while self._heap and not self._stopped:
+                time, _seq, handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at "
+                        f"t={self._now:.6f}; likely livelock")
+                heapq.heappop(self._heap)
+                self._now = time
+                handle._fired = True
+                self._events_processed += 1
+                dispatched += 1
+                handle.callback(*handle.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the currently-running :meth:`run` after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue (approximate:
+        lazily-cancelled entries are excluded)."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Simulator now={self._now:.6f} pending={self.pending} "
+                f"processed={self._events_processed}>")

@@ -1,0 +1,33 @@
+"""Deterministic randomness streams for the simulation.
+
+A single seed fans out into named independent streams so that, e.g.,
+adding a new consumer of randomness in the network layer does not perturb
+the sequence seen by the workload generator.  Each stream is a standard
+``random.Random`` seeded from the root seed and the stream name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A registry of named, independently seeded random streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")).digest()
+            self._streams[name] = random.Random(
+                int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

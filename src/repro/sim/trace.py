@@ -1,0 +1,69 @@
+"""Structured event tracing.
+
+Components emit typed trace records (node, category, payload) to a shared
+``Tracer``.  Tests assert on traces instead of scraping logs; benchmarks
+use them to count messages and disk writes.  Tracing is cheap when
+disabled: ``Tracer(enabled=False)`` drops records without formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    node: Any
+    category: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.6f}] {self.node} {self.category} {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and dispatches subscribers."""
+
+    def __init__(self, enabled: bool = True, keep: bool = True):
+        self.enabled = enabled
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._counters: Dict[str, int] = {}
+
+    def emit(self, time: float, node: Any, category: str,
+             **detail: Any) -> None:
+        if not self.enabled:
+            return
+        self._counters[category] = self._counters.get(category, 0) + 1
+        record = TraceRecord(time, node, category, detail)
+        if self.keep:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def count(self, category: str) -> int:
+        """Number of records emitted in ``category`` (kept or not)."""
+        return self._counters.get(category, 0)
+
+    def select(self, category: Optional[str] = None,
+               node: Any = None) -> Iterator[TraceRecord]:
+        """Iterate kept records filtered by category and/or node."""
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if node is not None and record.node != node:
+                continue
+            yield record
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._counters.clear()

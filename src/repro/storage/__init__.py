@@ -1,0 +1,14 @@
+"""Stable storage substrate: simulated disks, WAL, persistent records."""
+
+from .disk import DiskProfile, SimulatedDisk, WriteRequest
+from .store import StableStore
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "DiskProfile",
+    "LogRecord",
+    "SimulatedDisk",
+    "StableStore",
+    "WriteAheadLog",
+    "WriteRequest",
+]

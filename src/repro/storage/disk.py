@@ -1,0 +1,195 @@
+"""Simulated stable storage device.
+
+The paper's performance story is driven by *forced* disk writes: the
+replication engine pays one per action (at the originator), COReL one
+per action at every replica, and two-phase commit two per action in the
+critical path.  Figure 5(b) isolates exactly this cost by re-running the
+engine with delayed (asynchronous) writes.
+
+The model: a disk serves synchronous flushes one *batch* at a time.  A
+forced write enqueues a request; whenever the platter is free, all
+queued requests are committed together in a single sync taking
+``forced_write_latency`` (group commit, which every real engine and DBMS
+does).  ``max_batch`` can be set to 1 to disable batching (ablation
+E7).  Delayed writes complete after ``async_write_latency`` without
+durability: a crash loses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..sim import Simulator, Tracer
+
+Callback = Callable[[], None]
+
+
+@dataclass
+class DiskProfile:
+    """Timing parameters for the simulated disk.
+
+    forced_write_latency   one platter sync (seek + rotate + write + ack)
+    async_write_latency    buffered write acknowledged from cache
+    max_batch              max requests folded into one sync (group
+                           commit); ``None`` means unlimited
+    """
+
+    forced_write_latency: float = 0.0095
+    async_write_latency: float = 0.00005
+    max_batch: Optional[int] = None
+
+
+class WriteRequest:
+    """One outstanding write.
+
+    ``replace`` marks a log-rewrite request: on completion the payload
+    (a list) atomically *replaces* the durable contents instead of
+    being appended — the compaction primitive (write new log file,
+    rename over the old one).
+    """
+
+    __slots__ = ("payload", "callback", "forced", "issued_at", "done",
+                 "replace")
+
+    def __init__(self, payload: Any, callback: Optional[Callback],
+                 forced: bool, issued_at: float, replace: bool = False):
+        self.payload = payload
+        self.callback = callback
+        self.forced = forced
+        self.issued_at = issued_at
+        self.done = False
+        self.replace = replace
+
+
+class SimulatedDisk:
+    """A per-node disk with durable and volatile regions.
+
+    ``durable`` holds payloads whose write completed (synced, or
+    asynchronously flushed).  ``volatile`` holds async-written payloads
+    still in cache.  :meth:`crash` discards the cache and all pending
+    requests without invoking their callbacks.
+    """
+
+    def __init__(self, sim: Simulator, node: int,
+                 profile: Optional[DiskProfile] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.node = node
+        self.profile = profile or DiskProfile()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.durable: List[Any] = []
+        self.volatile: List[Any] = []
+        self._queue: List[WriteRequest] = []
+        self._busy = False
+        self._incarnation = 0
+        self.forced_writes = 0
+        self.syncs = 0
+        self.async_writes = 0
+        self.total_sync_wait = 0.0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, payload: Any, callback: Optional[Callback] = None,
+              forced: bool = True) -> None:
+        """Write ``payload``; invoke ``callback`` when it is durable
+        (forced) or buffered (async)."""
+        if forced:
+            self.forced_writes += 1
+            request = WriteRequest(payload, callback, True, self.sim.now)
+            self._queue.append(request)
+            self._maybe_start_sync()
+        else:
+            self.async_writes += 1
+            self.volatile.append(payload)
+            incarnation = self._incarnation
+            def complete() -> None:
+                if incarnation != self._incarnation:
+                    return
+                if callback is not None:
+                    callback()
+            self.sim.schedule(self.profile.async_write_latency, complete)
+
+    def rewrite(self, contents: List[Any],
+                callback: Optional[Callback] = None) -> None:
+        """Atomically replace the durable contents (log compaction).
+
+        The replacement happens at sync completion; a crash mid-rewrite
+        leaves the previous durable contents intact (the new log is
+        written to the side and renamed over the old one).
+        """
+        self.forced_writes += 1
+        request = WriteRequest(list(contents), callback, True,
+                               self.sim.now, replace=True)
+        self._queue.append(request)
+        self._maybe_start_sync()
+
+    def flush(self, callback: Optional[Callback] = None) -> None:
+        """Force everything buffered (async region) onto the platter."""
+        staged = self.volatile
+        self.volatile = []
+        def on_durable() -> None:
+            self.durable.extend(staged)
+            if callback is not None:
+                callback()
+        request = WriteRequest(None, on_durable, True, self.sim.now)
+        self.forced_writes += 1
+        self._queue.append(request)
+        self._maybe_start_sync()
+
+    # ------------------------------------------------------------------
+    # sync engine (group commit)
+    # ------------------------------------------------------------------
+    def _maybe_start_sync(self) -> None:
+        if self._busy or not self._queue:
+            return
+        limit = self.profile.max_batch
+        batch = self._queue if limit is None else self._queue[:limit]
+        self._queue = [] if limit is None else self._queue[limit:]
+        self._busy = True
+        self.syncs += 1
+        incarnation = self._incarnation
+        self.tracer.emit(self.sim.now, self.node, "disk.sync",
+                         batch=len(batch))
+        self.sim.schedule(self.profile.forced_write_latency,
+                          self._sync_done, batch, incarnation)
+
+    def _sync_done(self, batch: List[WriteRequest],
+                   incarnation: int) -> None:
+        if incarnation != self._incarnation:
+            return  # disk crashed while syncing; batch lost
+        self._busy = False
+        for request in batch:
+            request.done = True
+            if request.replace:
+                self.durable = list(request.payload)
+            elif request.payload is not None:
+                self.durable.append(request.payload)
+            self.total_sync_wait += self.sim.now - request.issued_at
+        # Start the next batch before callbacks so re-entrant writes
+        # join a later batch rather than racing this one.
+        self._maybe_start_sync()
+        for request in batch:
+            if request.callback is not None:
+                request.callback()
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure: cache and in-flight syncs are lost; durable
+        contents survive.  Pending callbacks never fire."""
+        self._incarnation += 1
+        self._busy = False
+        self._queue = []
+        self.volatile = []
+
+    def recover(self) -> List[Any]:
+        """Return the durable contents (the recovery scan)."""
+        return list(self.durable)
+
+    @property
+    def mean_sync_wait(self) -> float:
+        done = self.forced_writes
+        return self.total_sync_wait / done if done else 0.0

@@ -1,0 +1,77 @@
+"""Persistent key/value snapshot records over the WAL.
+
+The engine's small persistent records — ``vulnerable``, ``yellow``,
+``primComponent``, ``greenLines``, ``redCut`` — are stored as latest-
+value-wins keys.  A ``put`` journals the new value; recovery replays the
+log and keeps the last durable value per key.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional
+
+from .wal import WriteAheadLog
+
+_KIND = "kv"
+
+
+class StableStore:
+    """Latest-value-wins persistent map with explicit sync points.
+
+    ``put`` updates the in-memory view immediately and journals the
+    change as a buffered write; :meth:`sync` forces everything written
+    so far to the platter — this is the engine's ``** sync to disk``.
+    Values are deep-copied on write so later in-place mutation of live
+    engine structures cannot retroactively alter "what was on disk".
+    """
+
+    def __init__(self, wal: WriteAheadLog):
+        self.wal = wal
+        self._view: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """Stage ``key = value`` (buffered; durable at the next sync)."""
+        value = copy.deepcopy(value)
+        self._view[key] = value
+        self.wal.append(_KIND, (key, value), forced=False)
+
+    def sync(self, callback: Optional[Callable[[], None]] = None) -> None:
+        """Force all staged puts to stable storage."""
+        self.wal.sync(callback)
+
+    def put_sync(self, key: str, value: Any,
+                 callback: Optional[Callable[[], None]] = None) -> None:
+        """Convenience: ``put`` + ``sync``."""
+        self.put(key, value)
+        self.sync(callback)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read the staged (in-memory) view."""
+        return self._view.get(key, default)
+
+    def items(self) -> Dict[str, Any]:
+        """A copy of the staged view (used by log compaction)."""
+        return copy.deepcopy(self._view)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Drop the volatile view (the disk handles its own crash)."""
+        self._view = {}
+
+    def recover(self) -> Dict[str, Any]:
+        """Rebuild the durable view from the log and adopt it."""
+        view: Dict[str, Any] = {}
+        for record in self.wal.recover_kind(_KIND):
+            key, value = record.data
+            view[key] = value
+        self._view = copy.deepcopy(view)
+        return view

@@ -1,0 +1,73 @@
+"""Write-ahead log over the simulated disk.
+
+The replication engine journals actions (its ``ongoingQueue``), ordering
+decisions, and membership records.  Records are typed so the recovery
+scan can rebuild exactly the state the paper's Recover procedure
+(CodeSegment A.13) expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from .disk import SimulatedDisk
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A typed WAL entry."""
+
+    kind: str
+    data: Any
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogRecord({self.kind})"
+
+
+class WriteAheadLog:
+    """Append-only typed log with forced or buffered appends."""
+
+    def __init__(self, disk: SimulatedDisk):
+        self.disk = disk
+
+    def append(self, kind: str, data: Any,
+               callback: Optional[Callable[[], None]] = None,
+               forced: bool = True) -> None:
+        """Append one record; ``callback`` fires when it is on stable
+        storage (or buffered, if ``forced`` is False)."""
+        self.disk.write(LogRecord(kind, data), callback=callback,
+                        forced=forced)
+
+    def sync(self, callback: Optional[Callable[[], None]] = None) -> None:
+        """Flush buffered records and wait for platter sync."""
+        self.disk.flush(callback)
+
+    def rewrite(self, records: List[LogRecord],
+                callback: Optional[Callable[[], None]] = None) -> None:
+        """Atomically replace the log with ``records`` (compaction)."""
+        self.disk.rewrite(list(records), callback)
+
+    @property
+    def durable_size(self) -> int:
+        """Number of records currently on stable storage."""
+        return len(self.disk.durable)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> List[LogRecord]:
+        """All durable records in append order."""
+        return [r for r in self.disk.recover() if isinstance(r, LogRecord)]
+
+    def recover_kind(self, kind: str) -> Iterator[LogRecord]:
+        for record in self.recover():
+            if record.kind == kind:
+                yield record
+
+    def last_of_kind(self, kind: str) -> Optional[LogRecord]:
+        result: Optional[LogRecord] = None
+        for record in self.recover():
+            if record.kind == kind:
+                result = record
+        return result

@@ -1,0 +1,16 @@
+"""Operator tooling: declarative scenario runner and trace timelines."""
+
+from .scenario import (ScenarioError, ScenarioReport, ScenarioRunner,
+                       run_scenario)
+from .timeline import render_timeline, state_changes, \
+    summarize_time_in_state
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "render_timeline",
+    "run_scenario",
+    "state_changes",
+    "summarize_time_in_state",
+]

@@ -1,0 +1,209 @@
+"""Declarative scenario runner.
+
+Describes a whole experiment — cluster size, faults, workload,
+expectations — as plain data (JSON-compatible), runs it on a simulated
+cluster, and produces a structured report.  Useful for regression
+scenarios, documentation, and exploring the protocol from the command
+line:
+
+    python -m repro.tools.scenario my_scenario.json
+
+Scenario format::
+
+    {
+      "replicas": 5,
+      "seed": 7,
+      "settle": 2.0,
+      "steps": [
+        {"op": "submit", "node": 1, "update": ["SET", "k", 1]},
+        {"op": "run", "seconds": 1.0},
+        {"op": "partition", "groups": [[1, 2], [3, 4, 5]]},
+        {"op": "crash", "node": 4},
+        {"op": "recover", "node": 4},
+        {"op": "heal"},
+        {"op": "join", "node": 6, "peer": 2},
+        {"op": "leave", "node": 1},
+        {"op": "check", "kind": "converged"}
+      ]
+    }
+
+``check`` kinds: ``converged``, ``prefix``, ``single_primary``,
+``primary_is`` (with ``members``), ``key`` (with ``node``, ``key``,
+``value``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core import ReplicaCluster
+
+
+class ScenarioError(Exception):
+    """Raised for malformed scenarios or failed checks."""
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of a scenario run."""
+
+    steps_executed: int = 0
+    submissions: int = 0
+    completions: int = 0
+    checks_passed: int = 0
+    final_states: Dict[int, str] = field(default_factory=dict)
+    final_green_counts: Dict[int, int] = field(default_factory=dict)
+    events: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "steps_executed": self.steps_executed,
+            "submissions": self.submissions,
+            "completions": self.completions,
+            "checks_passed": self.checks_passed,
+            "final_states": self.final_states,
+            "final_green_counts": self.final_green_counts,
+            "events": self.events,
+        }
+
+
+class ScenarioRunner:
+    """Executes one scenario spec against a fresh cluster."""
+
+    def __init__(self, spec: Dict[str, Any]):
+        self.spec = spec
+        self.report = ScenarioReport()
+        self.cluster = ReplicaCluster(
+            n=int(spec.get("replicas", 3)),
+            seed=int(spec.get("seed", 0)))
+        self._completions = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioReport:
+        self.cluster.start_all(settle=float(self.spec.get("settle", 2.0)))
+        for step in self.spec.get("steps", []):
+            self._apply(step)
+            self.report.steps_executed += 1
+        self.report.completions = self._completions
+        self.report.final_states = self.cluster.states()
+        self.report.final_green_counts = {
+            n: r.green_count for n, r in self.cluster.replicas.items()
+            if r.running}
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _apply(self, step: Dict[str, Any]) -> None:
+        op = step.get("op")
+        if op == "submit":
+            node = int(step["node"])
+            update = tuple(step["update"])
+            self.report.submissions += 1
+
+            def complete(_a, _p, _r):
+                self._completions += 1
+
+            self.cluster.replicas[node].submit(update,
+                                               on_complete=complete)
+            self._log(f"submit at {node}: {update}")
+        elif op == "run":
+            self.cluster.run_for(float(step.get("seconds", 1.0)))
+        elif op == "partition":
+            groups = [list(map(int, g)) for g in step["groups"]]
+            self.cluster.partition(*groups)
+            self.cluster.run_for(float(step.get("settle", 1.0)))
+            self._log(f"partition {groups}")
+        elif op == "heal":
+            self.cluster.heal()
+            self.cluster.run_for(float(step.get("settle", 2.0)))
+            self._log("heal")
+        elif op == "crash":
+            self.cluster.crash(int(step["node"]))
+            self.cluster.run_for(float(step.get("settle", 1.0)))
+            self._log(f"crash {step['node']}")
+        elif op == "recover":
+            self.cluster.recover(int(step["node"]))
+            self.cluster.run_for(float(step.get("settle", 2.0)))
+            self._log(f"recover {step['node']}")
+        elif op == "join":
+            self.cluster.add_replica(int(step["node"]),
+                                     peer=int(step["peer"]))
+            self.cluster.run_for(float(step.get("settle", 5.0)))
+            self._log(f"join {step['node']} via {step['peer']}")
+        elif op == "leave":
+            self.cluster.replicas[int(step["node"])].leave()
+            self.cluster.run_for(float(step.get("settle", 2.0)))
+            self._log(f"leave {step['node']}")
+        elif op == "check":
+            self._check(step)
+        else:
+            raise ScenarioError(f"unknown op {op!r}")
+
+    def _check(self, step: Dict[str, Any]) -> None:
+        kind = step.get("kind")
+        try:
+            if kind == "converged":
+                self.cluster.assert_converged()
+            elif kind == "prefix":
+                self.cluster.assert_prefix_consistent()
+            elif kind == "single_primary":
+                self.cluster.assert_single_primary()
+            elif kind == "primary_is":
+                expected = sorted(int(n) for n in step["members"])
+                actual = sorted(self.cluster.primary_members())
+                if actual != expected:
+                    raise AssertionError(
+                        f"primary is {actual}, expected {expected}")
+            elif kind == "key":
+                node = int(step["node"])
+                value = self.cluster.replicas[node].database.state.get(
+                    step["key"])
+                if value != step["value"]:
+                    raise AssertionError(
+                        f"{step['key']!r} at {node} is {value!r}, "
+                        f"expected {step['value']!r}")
+            else:
+                raise ScenarioError(f"unknown check kind {kind!r}")
+        except AssertionError as failure:
+            raise ScenarioError(f"check {kind!r} failed: {failure}") \
+                from failure
+        self.report.checks_passed += 1
+        self._log(f"check {kind}: ok")
+
+    def _log(self, message: str) -> None:
+        self.report.events.append(
+            f"[{self.cluster.sim.now:9.3f}] {message}")
+
+
+def run_scenario(spec: Dict[str, Any]) -> ScenarioReport:
+    """Run a scenario spec; raises ScenarioError on failed checks."""
+    return ScenarioRunner(spec).run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Run a replication scenario from a JSON spec.")
+    parser.add_argument("spec", help="path to the scenario JSON file")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    args = parser.parse_args(argv)
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    report = run_scenario(spec)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for event in report.events:
+            print(event)
+        print(f"steps={report.steps_executed} "
+              f"submissions={report.submissions} "
+              f"completions={report.completions} "
+              f"checks={report.checks_passed}")
+        print(f"final states: {report.final_states}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

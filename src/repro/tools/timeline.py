@@ -1,0 +1,77 @@
+"""ASCII timeline of engine states from trace records.
+
+Turns a traced run into a compact per-replica state timeline — handy
+for understanding how a fault schedule played out:
+
+    t=  0.00  1:NonPrim        2:NonPrim        3:NonPrim
+    t=  0.54  1:ExchangeStates 2:ExchangeStates 3:ExchangeStates
+    t=  0.56  1:RegPrim        2:RegPrim        3:RegPrim
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import TraceRecord, Tracer
+
+_ABBREV = {
+    "NonPrim": "non-prim",
+    "RegPrim": "PRIMARY",
+    "TransPrim": "trans-prim",
+    "ExchangeStates": "exch-states",
+    "ExchangeActions": "exch-actions",
+    "Construct": "construct",
+    "No": "no",
+    "Un": "un",
+}
+
+
+def state_changes(tracer: Tracer) -> List[TraceRecord]:
+    """Engine state-change records, in time order."""
+    return sorted(tracer.select("engine.state"),
+                  key=lambda r: (r.time, str(r.node)))
+
+
+def render_timeline(tracer: Tracer,
+                    nodes: Optional[Sequence[int]] = None,
+                    abbreviate: bool = True) -> str:
+    """Render one line per state change, with a column per replica."""
+    changes = state_changes(tracer)
+    if nodes is None:
+        nodes = sorted({r.node for r in changes})
+    if not changes:
+        return "(no engine state changes traced)"
+    current: Dict[int, str] = {n: "NonPrim" for n in nodes}
+    width = max(len(v) for v in _ABBREV.values()) + 1
+    lines = []
+    for record in changes:
+        if record.node not in current:
+            current[record.node] = "NonPrim"
+        current[record.node] = record.detail["new"]
+        cells = []
+        for node in nodes:
+            name = current.get(node, "NonPrim")
+            if abbreviate:
+                name = _ABBREV.get(name, name)
+            cells.append(f"{node}:{name}".ljust(width + 4))
+        lines.append(f"t={record.time:9.4f}  " + " ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def summarize_time_in_state(tracer: Tracer, node: int,
+                            until: float) -> Dict[str, float]:
+    """Seconds spent in each state by ``node`` up to time ``until``."""
+    totals: Dict[str, float] = {}
+    last_state = "NonPrim"
+    last_time = 0.0
+    for record in state_changes(tracer):
+        if record.node != node:
+            continue
+        totals[last_state] = totals.get(last_state, 0.0) + \
+            (record.time - last_time)
+        last_state = record.detail["new"]
+        last_time = record.time
+    totals[last_state] = totals.get(last_state, 0.0) + \
+        max(0.0, until - last_time)
+    return totals

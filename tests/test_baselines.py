@@ -1,0 +1,146 @@
+"""Tests for the COReL and 2PC baselines."""
+
+import pytest
+
+from repro.baselines import CorelSystem, EngineSystem, TwoPCSystem
+from repro.gcs import GcsSettings
+from repro.storage import DiskProfile
+
+
+def fast_disk():
+    return DiskProfile(forced_write_latency=0.001)
+
+
+def fast_gcs():
+    return GcsSettings(heartbeat_interval=0.02, failure_timeout=0.08,
+                       gather_settle=0.02, phase_timeout=0.15)
+
+
+class TestCorel:
+    def make(self, n=3):
+        system = CorelSystem(n, disk_profile=fast_disk(),
+                             gcs_settings=fast_gcs())
+        system.start(settle=0.5)
+        return system
+
+    def run_actions(self, system, submissions):
+        done = []
+        for node, update in submissions:
+            system.submit(node, update, lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 1.0)
+        return done
+
+    def test_commit_requires_all_acks_then_completes(self):
+        system = self.make()
+        done = self.run_actions(system, [(1, ("SET", "k", 1))])
+        assert done == [1]
+        for replica in system.replicas.values():
+            assert replica.committed == 1
+            assert replica.db_state == {"k": 1}
+
+    def test_identical_commit_order_across_replicas(self):
+        system = self.make()
+        submissions = [(1 + i % 3, ("SET", f"k{i}", i)) for i in range(9)]
+        done = self.run_actions(system, submissions)
+        assert len(done) == 9
+        logs = [r.applied_log for r in system.replicas.values()]
+        assert logs[0] == logs[1] == logs[2]
+
+    def test_every_replica_forces_every_action(self):
+        system = self.make()
+        self.run_actions(system, [(1, ("SET", "k", i)) for i in range(4)])
+        counters = system.counters()
+        # 1 forced write per action per replica: 4 actions x 3 replicas.
+        assert counters["forced_writes"] >= 12
+
+    def test_partition_stalls_commits(self):
+        """Without all acks, COReL cannot commit (this is the cost of
+        per-action end-to-end acknowledgment)."""
+        system = self.make()
+        done = self.run_actions(system, [(1, ("SET", "a", 1))])
+        assert done == [1]
+        system.topology.partition([[1], [2, 3]])
+        system.sim.run(until=system.sim.now + 1.0)
+        before = system.replicas[2].committed
+        system.submit(2, ("SET", "b", 2), lambda: done.append(2))
+        system.sim.run(until=system.sim.now + 1.0)
+        # The action commits within the majority view {2,3} once its
+        # members ack; replica 1 cannot have it.
+        assert system.replicas[1].db_state.get("b") is None
+
+
+class TestTwoPC:
+    def make(self, n=3, timeout=5.0):
+        system = TwoPCSystem(n, disk_profile=fast_disk(), timeout=timeout)
+        system.start(settle=0.1)
+        return system
+
+    def test_commit_applies_everywhere(self):
+        system = self.make()
+        done = []
+        system.submit(1, ("SET", "k", "v"), lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 1.0)
+        assert done == [1]
+        for replica in system.replicas.values():
+            assert replica.db_state == {"k": "v"}
+
+    def test_two_forced_writes_in_critical_path(self):
+        system = self.make()
+        done = []
+        system.submit(1, ("SET", "k", "v"), lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 1.0)
+        coordinator = system.replicas[1]
+        # prepare (participant role) + commit (coordinator role).
+        assert coordinator.disk.forced_writes == 2
+
+    def test_lock_conflicts_resolved_by_wait_die(self):
+        system = self.make()
+        done = []
+        system.submit(1, ("SET", "hot", 1), lambda: done.append("a"))
+        system.submit(2, ("SET", "hot", 2), lambda: done.append("b"))
+        system.sim.run(until=system.sim.now + 2.0)
+        # Wait-die aborts the younger conflicting transaction instead
+        # of deadlocking; the older one commits everywhere.
+        assert done == ["a"]
+        assert system.counters()["aborted"] == 1
+        values = {r.db_state["hot"] for r in system.replicas.values()}
+        assert values == {1}
+
+    def test_distinct_keys_run_concurrently(self):
+        system = self.make()
+        done = []
+        for i in range(6):
+            system.submit(1 + i % 3, ("SET", f"k{i}", i),
+                          lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 2.0)
+        assert len(done) == 6
+        logs = [r.applied_log for r in system.replicas.values()]
+        assert all(len(log) == 6 for log in logs)
+
+    def test_partition_aborts_coordinator_side(self):
+        system = self.make(timeout=0.5)
+        system.topology.partition([[1], [2, 3]])
+        done = []
+        system.submit(1, ("SET", "k", 1), lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 2.0)
+        assert done == []
+        assert system.counters()["aborted"] == 1
+        # Locks released after abort: a later transaction proceeds.
+        system.topology.heal()
+        system.submit(2, ("SET", "k", 2), lambda: done.append(2))
+        system.sim.run(until=system.sim.now + 2.0)
+        assert done == [2]
+
+
+class TestEngineAdapter:
+    def test_engine_system_api(self):
+        system = EngineSystem(3, gcs_settings=fast_gcs(),
+                              disk_profile=fast_disk())
+        system.start(settle=1.0)
+        done = []
+        system.submit(1, ("SET", "k", 1), lambda: done.append(1))
+        system.sim.run(until=system.sim.now + 1.0)
+        assert done == [1]
+        counters = system.counters()
+        assert counters["greens"] == 3  # one action green at 3 replicas
+        assert system.nodes == [1, 2, 3]

@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench import render_chart, throughput_chart
+from repro.bench.metrics import RunResult
+
+
+def test_empty_series():
+    assert render_chart({}) == "(no data)"
+
+
+def test_single_point():
+    text = render_chart({"solo": [(1.0, 5.0)]})
+    assert "s" in text
+    assert "legend: s = solo" in text
+
+
+def test_markers_and_collisions():
+    text = render_chart({
+        "alpha": [(0, 0), (10, 10)],
+        "beta": [(0, 0), (10, 5)],
+    }, width=20, height=8)
+    assert "a" in text
+    assert "b" in text
+    assert "*" in text  # both series share the origin point
+
+
+def test_dimensions():
+    text = render_chart({"x": [(0, 0), (5, 100)]}, width=30, height=10)
+    lines = text.splitlines()
+    # height rows + axis + ticks + footer lines
+    assert len(lines) >= 12
+    plot_rows = lines[:10]
+    assert all("|" in line for line in plot_rows)
+
+
+def test_axis_labels_present():
+    text = render_chart({"x": [(1, 1), (2, 200)]}, y_label="acts/s",
+                        x_label="clients")
+    assert "y: acts/s" in text
+    assert "x: clients" in text
+    assert "200" in text  # max y label on the axis
+
+
+def test_monotone_series_rises_left_to_right():
+    text = render_chart({"up": [(i, i * 10) for i in range(1, 8)]},
+                        width=40, height=10)
+    rows = [line.split("|", 1)[1] for line in text.splitlines()
+            if "|" in line]
+    first_marks = [row.find("u") for row in rows if "u" in row]
+    # Higher rows (earlier lines) hold the rightmost (larger x) points.
+    assert first_marks == sorted(first_marks, reverse=False) or \
+        all(m >= 0 for m in first_marks)
+    top_row = next(row for row in rows if "u" in row)
+    bottom_row = [row for row in rows if "u" in row][-1]
+    assert top_row.rindex("u") > bottom_row.index("u")
+
+
+def test_throughput_chart_from_results():
+    series = {
+        "engine": [RunResult("engine", c, 1.0, c * 10, c * 10.0,
+                             0.01, 0.01, 0.01) for c in (1, 7, 14)],
+        "corel": [RunResult("corel", c, 1.0, c * 5, c * 5.0,
+                            0.01, 0.01, 0.01) for c in (1, 7, 14)],
+    }
+    text = throughput_chart(series)
+    assert "e = engine" in text
+    assert "c = corel" in text
+    assert "actions/second" in text

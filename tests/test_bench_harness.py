@@ -1,0 +1,115 @@
+"""Tests for the benchmark harness itself (workload, metrics, tables,
+runner) on tiny fast systems."""
+
+import math
+
+import pytest
+
+from repro.baselines import EngineSystem
+from repro.bench import (ClosedLoopClient, format_table, latency_table,
+                         paper_vs_measured, per_action_cost_table,
+                         percentile, run_closed_loop, run_latency_probe,
+                         spread_clients, summarize, sweep_clients,
+                         throughput_series_table)
+from repro.bench.metrics import RunResult
+from repro.gcs import GcsSettings
+from repro.storage import DiskProfile
+
+
+def tiny_engine():
+    return EngineSystem(
+        3, gcs_settings=GcsSettings(heartbeat_interval=0.02,
+                                    failure_timeout=0.08,
+                                    gather_settle=0.02,
+                                    phase_timeout=0.15),
+        disk_profile=DiskProfile(forced_write_latency=0.001))
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_summarize(self):
+        result = summarize("sys", 2, 10.0, [0.01, 0.02, 0.03],
+                           {"datagrams": 30})
+        assert result.throughput == pytest.approx(0.3)
+        assert result.mean_latency == pytest.approx(0.02)
+        assert result.mean_latency_ms == pytest.approx(20.0)
+        assert result.per_action("datagrams") == pytest.approx(10.0)
+
+    def test_per_action_with_zero_actions_is_nan(self):
+        result = summarize("sys", 1, 10.0, [], {"x": 5})
+        assert math.isnan(result.per_action("x"))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_throughput_series_table(self):
+        series = {
+            "x": [RunResult("x", 1, 1.0, 10, 10.0, 0, 0, 0)],
+            "y": [RunResult("y", 1, 1.0, 20, 20.0, 0, 0, 0),
+                  RunResult("y", 2, 1.0, 30, 30.0, 0, 0, 0)],
+        }
+        text = throughput_series_table(series)
+        assert "clients" in text
+        assert "-" in text.splitlines()[-1]  # x has no 2-client point
+
+    def test_latency_and_cost_tables(self):
+        results = [RunResult("sys", 1, 1.0, 5, 5.0, 0.010, 0.010,
+                             0.012, {"forced_writes": 10})]
+        assert "10.00" in latency_table(results)
+        assert "2.00" in per_action_cost_table(results,
+                                               ["forced_writes"])
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([["latency", "11.4", "12.5", "ok"]])
+        assert "verdict" in text and "11.4" in text
+
+
+class TestWorkload:
+    def test_spread_clients_round_robin(self):
+        system = tiny_engine()
+        clients = spread_clients(system, 5)
+        assert [c.node for c in clients] == [1, 2, 3, 1, 2]
+
+    def test_closed_loop_submits_after_completion(self):
+        system = tiny_engine()
+        system.start(settle=1.0)
+        client = ClosedLoopClient(system, 1, 1)
+        client.start()
+        system.sim.run(until=system.sim.now + 0.5)
+        client.stop()
+        assert client.completed > 3
+        # Closed loop: at most one action outstanding.
+        assert client.submitted - client.completed <= 1
+
+
+class TestRunner:
+    def test_run_closed_loop_measures_window_only(self):
+        result = run_closed_loop(tiny_engine, clients=2, duration=1.0,
+                                 warmup=0.5, settle=1.0)
+        assert result.clients == 2
+        assert result.actions_completed > 0
+        assert result.throughput == pytest.approx(
+            result.actions_completed / 1.0)
+        assert 0 < result.mean_latency < 0.05
+
+    def test_latency_probe_stops_at_quota(self):
+        result = run_latency_probe(tiny_engine, actions=20, settle=1.0)
+        assert result.actions_completed == 20
+        assert result.counters["greens"] >= 20
+
+    def test_sweep_clients_returns_one_result_per_count(self):
+        results = sweep_clients(tiny_engine, [1, 2], duration=0.5,
+                                warmup=0.2)
+        assert [r.clients for r in results] == [1, 2]
+        assert results[1].throughput > results[0].throughput

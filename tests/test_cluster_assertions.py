@@ -1,0 +1,77 @@
+"""The cluster's executable consistency assertions must actually fire
+on violations (tests of the test oracles)."""
+
+import pytest
+
+from repro.db import Action, ActionId
+
+from conftest import make_cluster
+
+
+@pytest.fixture
+def cluster():
+    c = make_cluster(3)
+    c.start_all(settle=1.0)
+    client = c.client(1)
+    for i in range(3):
+        client.submit(("SET", f"k{i}", i))
+    c.run_for(1.0)
+    return c
+
+
+def test_assert_converged_passes_on_healthy_cluster(cluster):
+    cluster.assert_converged()
+
+
+def test_prefix_violation_detected(cluster):
+    # Forge a divergent applied log at replica 2.
+    log = cluster.replicas[2].database.applied_log
+    log[0] = ActionId(99, 99)
+    with pytest.raises(AssertionError, match="total order violated"):
+        cluster.assert_prefix_consistent()
+
+
+def test_count_divergence_detected(cluster):
+    cluster.replicas[2].database.applied_log.append(ActionId(9, 9))
+    cluster.replicas[2].database.applied_count += 1
+    with pytest.raises(AssertionError, match="not converged"):
+        cluster.assert_converged()
+
+
+def test_digest_divergence_detected(cluster):
+    cluster.replicas[2].database.state["k0"] = "corrupted"
+    with pytest.raises(AssertionError, match="digests differ"):
+        cluster.assert_converged()
+
+
+def test_multiple_primaries_detected(cluster):
+    # Forge two different views both claiming RegPrim.
+    from repro.gcs import Configuration, ViewId
+    cluster.replicas[1].engine.conf = Configuration(
+        ViewId(99, 1), frozenset([1]))
+    with pytest.raises(AssertionError, match="multiple primary"):
+        cluster.assert_single_primary()
+
+
+def test_crashed_replicas_excluded_from_checks(cluster):
+    cluster.crash(3)
+    cluster.run_for(1.0)
+    client = cluster.client(1)
+    client.submit(("SET", "after", 1))
+    cluster.run_for(1.0)
+    # Node 3's stale database must not fail the check while it is down.
+    cluster.assert_converged()
+
+
+def test_exited_replicas_excluded(cluster):
+    cluster.replicas[3].leave()
+    cluster.run_for(2.0)
+    cluster.client(1).submit(("SET", "post", 1))
+    cluster.run_for(1.0)
+    cluster.assert_converged()
+
+
+def test_applied_logs_only_running(cluster):
+    cluster.crash(2)
+    logs = cluster.applied_logs()
+    assert set(logs) == {1, 3}

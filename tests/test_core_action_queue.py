@@ -1,0 +1,168 @@
+"""Unit tests for the actions queue (marking, cuts, white line)."""
+
+import pytest
+
+from repro.core import ActionQueue, Color
+from repro.db import Action, ActionId
+
+
+def make_action(server, index):
+    return Action(action_id=ActionId(server, index),
+                  update=("SET", f"{server}:{index}", index))
+
+
+@pytest.fixture
+def queue():
+    return ActionQueue([1, 2, 3])
+
+
+class TestMarkRed:
+    def test_accepts_next_index(self, queue):
+        assert queue.mark_red(make_action(1, 1))
+        assert queue.red_cut[1] == 1
+        assert queue.color_of(ActionId(1, 1)) is Color.RED
+
+    def test_rejects_gap(self, queue):
+        assert not queue.mark_red(make_action(1, 2))
+        assert queue.red_cut[1] == 0
+
+    def test_rejects_duplicate(self, queue):
+        queue.mark_red(make_action(1, 1))
+        assert not queue.mark_red(make_action(1, 1))
+
+    def test_rejects_unknown_creator(self, queue):
+        assert not queue.mark_red(make_action(9, 1))
+
+    def test_local_order_preserved(self, queue):
+        queue.mark_red(make_action(2, 1))
+        queue.mark_red(make_action(1, 1))
+        queue.mark_red(make_action(2, 2))
+        assert [a.action_id for a in queue.red_actions()] == [
+            ActionId(2, 1), ActionId(1, 1), ActionId(2, 2)]
+
+
+class TestMarkGreen:
+    def test_green_from_unknown(self, queue):
+        action = make_action(1, 1)
+        assert queue.mark_green(action)
+        assert queue.color_of(action.action_id) is Color.GREEN
+        assert queue.green_count == 1
+        assert queue.green_position(action.action_id) == 0
+        assert queue.red_actions() == []
+
+    def test_green_from_red_removes_from_red(self, queue):
+        action = make_action(1, 1)
+        queue.mark_red(action)
+        assert queue.mark_green(action)
+        assert queue.red_actions() == []
+
+    def test_green_idempotent(self, queue):
+        action = make_action(1, 1)
+        queue.mark_green(action)
+        assert not queue.mark_green(action)
+        assert queue.green_count == 1
+
+    def test_green_fifo_gap_rejected(self, queue):
+        with pytest.raises(ValueError):
+            queue.mark_green(make_action(1, 5))
+
+    def test_positions_are_sequential(self, queue):
+        for i in range(1, 6):
+            queue.mark_green(make_action(1, i))
+        assert [queue.green_position(ActionId(1, i))
+                for i in range(1, 6)] == [0, 1, 2, 3, 4]
+
+    def test_green_slice(self, queue):
+        for i in range(1, 6):
+            queue.mark_green(make_action(1, i))
+        chunk = queue.green_slice(2, 4)
+        assert [pos for pos, _a in chunk] == [2, 3]
+
+    def test_find(self, queue):
+        red = make_action(2, 1)
+        green = make_action(1, 1)
+        queue.mark_red(red)
+        queue.mark_green(green)
+        assert queue.find(red.action_id) is red
+        assert queue.find(green.action_id) is green
+        assert queue.find(ActionId(3, 9)) is None
+
+    def test_red_actions_of_creator_sorted(self, queue):
+        queue.mark_red(make_action(2, 1))
+        queue.mark_red(make_action(1, 1))
+        queue.mark_red(make_action(2, 2))
+        assert [a.action_id.index
+                for a in queue.red_actions_of(2)] == [1, 2]
+
+
+class TestGreenLinesAndWhite:
+    def test_green_lines_monotonic(self, queue):
+        queue.set_green_line(2, 5)
+        queue.set_green_line(2, 3)
+        assert queue.green_lines[2] == 5
+
+    def test_white_line_is_min(self, queue):
+        queue.set_green_line(1, 5)
+        queue.set_green_line(2, 3)
+        queue.set_green_line(3, 9)
+        assert queue.white_line == 3
+
+    def test_truncate_white_discards_prefix(self, queue):
+        for i in range(1, 7):
+            queue.mark_green(make_action(1, i))
+        for server in (1, 2, 3):
+            queue.set_green_line(server, 4)
+        assert queue.truncate_white() == 4
+        assert queue.green_offset == 4
+        assert queue.green_count == 6
+        assert queue.green_position(ActionId(1, 1)) is None
+        assert queue.green_position(ActionId(1, 5)) == 4
+        # Slices below the offset are clamped.
+        assert [p for p, _a in queue.green_slice(0)] == [4, 5]
+
+    def test_truncate_noop_without_knowledge(self, queue):
+        queue.mark_green(make_action(1, 1))
+        assert queue.truncate_white() == 0  # lines default to 0
+
+    def test_knows_covers_green_and_red(self, queue):
+        queue.mark_green(make_action(1, 1))
+        queue.mark_red(make_action(2, 1))
+        assert queue.knows(ActionId(1, 1))
+        assert queue.knows(ActionId(2, 1))
+        assert not queue.knows(ActionId(3, 1))
+
+
+class TestDynamicServers:
+    def test_add_server(self, queue):
+        queue.add_server(7, green_line=3)
+        assert 7 in queue.red_cut
+        assert queue.green_lines[7] == 3
+        assert queue.mark_red(make_action(7, 1))
+
+    def test_remove_server(self, queue):
+        queue.remove_server(3)
+        assert 3 not in queue.red_cut
+        assert not queue.mark_red(make_action(3, 1))
+        assert queue.servers == [1, 2]
+
+    def test_add_existing_is_noop(self, queue):
+        queue.mark_red(make_action(1, 1))
+        queue.add_server(1)
+        assert queue.red_cut[1] == 1
+
+
+class TestRemovalPurge:
+    def test_remove_server_purges_red_actions(self, queue):
+        queue.mark_red(make_action(2, 1))
+        queue.mark_red(make_action(3, 1))
+        queue.mark_red(make_action(2, 2))
+        queue.remove_server(2)
+        remaining = [a.action_id for a in queue.red_actions()]
+        assert remaining == [ActionId(3, 1)]
+        assert queue.find(ActionId(2, 1)) is None
+
+    def test_remove_server_keeps_green_history(self, queue):
+        queue.mark_green(make_action(2, 1))
+        queue.remove_server(2)
+        assert queue.green_count == 1
+        assert queue.green_position(ActionId(2, 1)) == 0

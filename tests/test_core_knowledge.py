@@ -1,0 +1,195 @@
+"""Unit tests for ComputeKnowledge (A.7) and the retransmission plan."""
+
+import pytest
+
+from repro.core import (EngineStateMsg, PrimComponent, Vulnerable,
+                        compute_knowledge, plan_retransmission,
+                        retransmission_complete)
+from repro.core.records import VALID
+from repro.db import ActionId
+from repro.gcs import ViewId
+
+
+def report(server, green=0, red_cut=None, prim=(0, 0, (1, 2, 3)),
+           attempt=0, vulnerable=None, yellow_valid=False, yellow=()):
+    prim_component = PrimComponent(prim[0], prim[1], tuple(prim[2]))
+    return EngineStateMsg(
+        server_id=server, conf_id=ViewId(1, 1), green_count=green,
+        red_cut=dict(red_cut or {}), green_lines={},
+        attempt_index=attempt, prim_component=prim_component,
+        vulnerable=vulnerable or Vulnerable(),
+        yellow_valid=yellow_valid, yellow_ids=tuple(yellow))
+
+
+def vulnerable(prim_index, attempt, members, me, bits=None):
+    record = Vulnerable()
+    record.make_valid(prim_index, attempt, tuple(members), me)
+    if bits:
+        record.bits.update(bits)
+    return record
+
+
+class TestComputeKnowledge:
+    def test_adopts_maximal_prim_component(self):
+        reports = {
+            1: report(1, prim=(2, 1, (1, 2))),
+            2: report(2, prim=(3, 1, (2, 3))),
+            3: report(3, prim=(3, 1, (2, 3))),
+        }
+        knowledge = compute_knowledge(reports)
+        assert knowledge.prim_component.prim_index == 3
+        assert knowledge.updated_group == (2, 3)
+
+    def test_attempt_index_from_updated_group(self):
+        reports = {
+            1: report(1, prim=(3, 1, (1, 2)), attempt=9),
+            2: report(2, prim=(2, 1, (1, 2)), attempt=50),
+        }
+        knowledge = compute_knowledge(reports)
+        assert knowledge.attempt_index == 9
+
+    def test_yellow_intersection_ordered(self):
+        ids = [ActionId(5, 1), ActionId(6, 1), ActionId(7, 1)]
+        reports = {
+            1: report(1, prim=(1, 1, (1, 2)), yellow_valid=True,
+                      yellow=(ids[0], ids[1], ids[2])),
+            2: report(2, prim=(1, 1, (1, 2)), yellow_valid=True,
+                      yellow=(ids[0], ids[2])),
+        }
+        knowledge = compute_knowledge(reports)
+        assert knowledge.yellow.is_valid
+        assert knowledge.yellow.set == [ids[0], ids[2]]
+
+    def test_yellow_invalid_when_no_valid_group(self):
+        reports = {1: report(1), 2: report(2)}
+        knowledge = compute_knowledge(reports)
+        assert not knowledge.yellow.is_valid
+
+    def test_yellow_only_from_updated_group(self):
+        # Server 1 has a valid yellow but a stale prim: not in the
+        # updated group, so its yellow does not count.
+        reports = {
+            1: report(1, prim=(1, 1, (1, 2)), yellow_valid=True,
+                      yellow=(ActionId(9, 1),)),
+            2: report(2, prim=(2, 1, (1, 2))),
+        }
+        knowledge = compute_knowledge(reports)
+        assert not knowledge.yellow.is_valid
+
+    def test_vulnerable_invalidated_when_not_in_max_prim(self):
+        reports = {
+            1: report(1, prim=(5, 1, (2, 3)),
+                      vulnerable=vulnerable(4, 1, (1, 2), 1)),
+            2: report(2, prim=(5, 1, (2, 3))),
+        }
+        knowledge = compute_knowledge(reports)
+        valid, _bits = knowledge.vulnerable_resolution[1]
+        assert not valid
+
+    def test_vulnerable_invalidated_by_mismatched_member(self):
+        # Server 2, a member of server 1's attempt, reports an invalid
+        # vulnerable record: it knows the outcome of that attempt.
+        reports = {
+            1: report(1, vulnerable=vulnerable(0, 1, (1, 2), 1)),
+            2: report(2),  # invalid vulnerable
+        }
+        knowledge = compute_knowledge(reports)
+        valid, _bits = knowledge.vulnerable_resolution[1]
+        assert not valid
+        assert not knowledge.any_vulnerable()
+
+    def test_vulnerable_resolved_when_all_members_present(self):
+        reports = {
+            1: report(1, vulnerable=vulnerable(0, 1, (1, 2, 3), 1)),
+            2: report(2, vulnerable=vulnerable(0, 1, (1, 2, 3), 2)),
+            3: report(3, vulnerable=vulnerable(0, 1, (1, 2, 3), 3)),
+        }
+        knowledge = compute_knowledge(reports)
+        assert not knowledge.any_vulnerable()
+        for server in (1, 2, 3):
+            valid, bits = knowledge.vulnerable_resolution[server]
+            assert not valid
+            assert all(bits.values())
+
+    def test_vulnerable_stays_with_absent_member(self):
+        # Member 3 of the attempt is not here: it may have installed
+        # and processed actions we cannot see.  Stay vulnerable.
+        reports = {
+            1: report(1, vulnerable=vulnerable(0, 1, (1, 2, 3), 1)),
+            2: report(2, vulnerable=vulnerable(0, 1, (1, 2, 3), 2)),
+        }
+        knowledge = compute_knowledge(reports)
+        assert knowledge.any_vulnerable()
+        valid, bits = knowledge.vulnerable_resolution[1]
+        assert valid
+        assert bits == {1: True, 2: True, 3: False}
+
+    def test_bits_accumulate_across_exchanges(self):
+        # Server 1 already carries server 3's bit from a previous
+        # exchange; meeting server 2 now completes the set.
+        reports = {
+            1: report(1, vulnerable=vulnerable(0, 1, (1, 2, 3), 1,
+                                               bits={3: True})),
+            2: report(2, vulnerable=vulnerable(0, 1, (1, 2, 3), 2)),
+        }
+        knowledge = compute_knowledge(reports)
+        assert not knowledge.any_vulnerable()
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            compute_knowledge({})
+
+
+class TestRetransmissionPlan:
+    def test_green_holder_is_most_updated(self):
+        reports = {
+            1: report(1, green=5),
+            2: report(2, green=9),
+            3: report(3, green=9),
+        }
+        plan = plan_retransmission(reports)
+        assert plan.green_target == 9
+        assert plan.green_start == 5
+        assert plan.green_holder == 2  # tie broken by lowest id
+
+    def test_red_holders_per_creator(self):
+        reports = {
+            1: report(1, red_cut={1: 4, 2: 0}),
+            2: report(2, red_cut={1: 2, 2: 7}),
+        }
+        plan = plan_retransmission(reports)
+        assert plan.red_targets == {1: 4, 2: 7}
+        assert plan.red_holders == {1: 1, 2: 2}
+        assert plan.red_floor == {1: 2, 2: 0}
+
+    def test_noop_plan(self):
+        reports = {
+            1: report(1, green=3, red_cut={1: 1}),
+            2: report(2, green=3, red_cut={1: 1}),
+        }
+        assert plan_retransmission(reports).is_noop()
+
+    def test_retransmission_complete(self):
+        reports = {
+            1: report(1, green=5, red_cut={1: 4}),
+            2: report(2, green=3, red_cut={1: 2}),
+        }
+        plan = plan_retransmission(reports)
+        assert not retransmission_complete(plan, 3, {1: 2})
+        assert not retransmission_complete(plan, 5, {1: 2})
+        assert retransmission_complete(plan, 5, {1: 4})
+
+
+class TestRemovedCreatorCompletion:
+    def test_removed_creator_not_awaited(self):
+        reports = {
+            1: report(1, red_cut={1: 0, 2: 3}),   # still carries 2
+            3: report(3, red_cut={1: 0}),          # removed 2 already
+        }
+        plan = plan_retransmission(reports)
+        assert plan.red_targets[2] == 3
+        # Member 3 (no key for creator 2) is complete without 2's tail.
+        assert retransmission_complete(plan, 0, {1: 0})
+        # Member 1 still awaits it.
+        assert not retransmission_complete(plan, 0, {1: 0, 2: 0})
+        assert retransmission_complete(plan, 0, {1: 0, 2: 3})

@@ -1,0 +1,247 @@
+"""Protocol-level tests of the Appendix A state machine, including the
+corner states (No, Un, the 1b transition) that demand precisely-timed
+cascaded view changes."""
+
+import pytest
+
+from repro.core import EngineState, PrimComponent, Vulnerable
+from repro.core.messages import EngineCpcMsg, EngineStateMsg
+from repro.db import ActionId
+
+from engine_harness import EngineHarness
+
+
+def exchange_to_construct(harness, members=(1, 2, 3)):
+    """Drive the engine through a clean exchange into Construct."""
+    conf = harness.reg_conf(members)
+    assert harness.engine.state is EngineState.EXCHANGE_STATES
+    harness.own_state_msg(conf)
+    for member in members:
+        if member != harness.engine.server_id:
+            harness.state_msg(member, conf)
+    assert harness.engine.state is EngineState.CONSTRUCT
+    return conf
+
+
+class TestExchangeStates:
+    def test_reg_conf_triggers_state_message(self):
+        harness = EngineHarness(1)
+        harness.reg_conf((1, 2, 3))
+        assert harness.engine.state is EngineState.EXCHANGE_STATES
+        assert len(harness.channel.sent_of(EngineStateMsg)) == 1
+
+    def test_stale_state_messages_ignored(self):
+        harness = EngineHarness(1)
+        old_conf = harness.reg_conf((1, 2, 3))
+        new_conf = harness.reg_conf((1, 2))
+        # A state message stamped with the old conf must not count.
+        harness.state_msg(2, old_conf)
+        assert harness.engine.state is EngineState.EXCHANGE_STATES
+
+    def test_all_states_and_quorum_leads_to_cpc(self):
+        harness = EngineHarness(1)
+        conf = exchange_to_construct(harness)
+        assert harness.engine.vulnerable.is_valid
+        assert len(harness.channel.sent_of(EngineCpcMsg)) == 1
+
+    def test_no_quorum_leads_to_nonprim(self):
+        harness = EngineHarness(1, servers=(1, 2, 3, 4, 5))
+        conf = harness.reg_conf((1, 2))  # 2 of 5: no quorum
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        assert harness.engine.state is EngineState.NON_PRIM
+        assert not harness.channel.sent_of(EngineCpcMsg)
+
+    def test_vulnerable_reporter_blocks_quorum(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2))
+        harness.own_state_msg(conf)
+        # Server 2 is still vulnerable to an attempt with member 3,
+        # who is absent: the attempt cannot be resolved.
+        vulnerable = Vulnerable()
+        vulnerable.make_valid(0, 1, (2, 3), self_id=2)
+        harness.state_msg(2, conf, vulnerable=vulnerable)
+        assert harness.engine.state is EngineState.NON_PRIM
+
+    def test_trans_conf_during_exchange_returns_to_nonprim(self):
+        harness = EngineHarness(1)
+        harness.reg_conf((1, 2, 3))
+        harness.trans_conf((1,))
+        assert harness.engine.state is EngineState.NON_PRIM
+
+
+class TestConstructAndInstall:
+    def test_all_cpcs_install_primary(self):
+        harness = EngineHarness(1)
+        conf = exchange_to_construct(harness)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        assert harness.engine.state is EngineState.CONSTRUCT
+        harness.cpc(3, conf)
+        assert harness.engine.state is EngineState.REG_PRIM
+        assert harness.engine.prim_component.prim_index == 1
+        assert harness.engine.prim_component.servers == (1, 2, 3)
+
+    def test_install_greens_red_actions_by_action_id(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        # Reds arrive during the exchange in arbitrary creator order.
+        harness.action(3, 1, update=("SET", "c", 3))
+        harness.action(2, 1, update=("SET", "b", 2))
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf, red_cut={2: 1, 3: 1})
+        harness.state_msg(3, conf, red_cut={2: 1, 3: 1})
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.cpc(3, conf)
+        assert harness.engine.state is EngineState.REG_PRIM
+        # OR-2: reds greened ordered by action id -> (2,1) before (3,1).
+        assert harness.database.applied_log == [ActionId(2, 1),
+                                                ActionId(3, 1)]
+
+    def test_regprim_greens_actions_immediately(self):
+        harness = EngineHarness(1)
+        conf = exchange_to_construct(harness)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.cpc(3, conf)
+        harness.action(2, 1, update=("SET", "x", 1))
+        assert harness.engine.queue.green_count == 1
+        assert harness.database.state == {"x": 1}
+
+
+class TestTransPrimAndYellow:
+    def build_primary(self, harness, members=(1, 2, 3)):
+        conf = exchange_to_construct(harness, members)
+        harness.own_cpc(conf)
+        for member in members:
+            if member != harness.engine.server_id:
+                harness.cpc(member, conf)
+        assert harness.engine.state is EngineState.REG_PRIM
+        return conf
+
+    def test_trans_conf_moves_to_transprim(self):
+        harness = EngineHarness(1)
+        self.build_primary(harness)
+        harness.trans_conf((1, 2))
+        assert harness.engine.state is EngineState.TRANS_PRIM
+
+    def test_actions_in_transprim_marked_yellow(self):
+        harness = EngineHarness(1)
+        self.build_primary(harness)
+        harness.trans_conf((1, 2))
+        act = harness.action(2, 1, update=("SET", "y", 1),
+                             in_transitional=True)
+        assert act.action_id in harness.engine.yellow.set
+        # Yellow actions are NOT applied (their order is not final).
+        assert harness.database.state == {}
+
+    def test_regconf_after_transprim_validates_yellow(self):
+        harness = EngineHarness(1)
+        self.build_primary(harness)
+        harness.trans_conf((1, 2))
+        harness.action(2, 1, in_transitional=True)
+        assert harness.engine.vulnerable.is_valid
+        harness.reg_conf((1, 2))
+        # A.3: vulnerable invalidated, yellow becomes Valid.
+        assert not harness.engine.vulnerable.is_valid
+        # The engine is now exchanging; its state message must carry
+        # the valid yellow set.
+        msg = harness.channel.sent_of(EngineStateMsg)[-1]
+        assert msg.yellow_valid
+        assert ActionId(2, 1) in msg.yellow_ids
+
+
+class TestNoAndUnStates:
+    def drive_to_construct(self, harness):
+        return exchange_to_construct(harness)
+
+    def test_trans_conf_in_construct_goes_no(self):
+        harness = EngineHarness(1)
+        conf = self.drive_to_construct(harness)
+        harness.trans_conf((1, 2))
+        assert harness.engine.state is EngineState.NO
+
+    def test_no_with_regconf_invalidates_vulnerable(self):
+        harness = EngineHarness(1)
+        conf = self.drive_to_construct(harness)
+        harness.trans_conf((1, 2))
+        assert harness.engine.vulnerable.is_valid
+        harness.reg_conf((1, 2))
+        # A.11: no server can have installed; drop the vulnerability.
+        assert harness.engine.state is EngineState.EXCHANGE_STATES
+        msg = harness.channel.sent_of(EngineStateMsg)[-1]
+        assert not msg.vulnerable.is_valid
+
+    def test_remaining_cpcs_in_trans_conf_move_to_un(self):
+        harness = EngineHarness(1)
+        conf = self.drive_to_construct(harness)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.trans_conf((1, 2))
+        assert harness.engine.state is EngineState.NO
+        # The last CPC arrives in the transitional configuration:
+        # someone may have received them all in the regular conf.
+        harness.cpc(3, conf, in_transitional=True)
+        assert harness.engine.state is EngineState.UN
+
+    def test_un_with_regconf_stays_vulnerable(self):
+        harness = EngineHarness(1)
+        conf = self.drive_to_construct(harness)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.trans_conf((1, 2))
+        harness.cpc(3, conf, in_transitional=True)
+        assert harness.engine.state is EngineState.UN
+        harness.reg_conf((1, 2))
+        # The '?' transition: the dilemma is unresolved; the server
+        # remains vulnerable until a future exchange settles it.
+        assert harness.engine.state is EngineState.EXCHANGE_STATES
+        msg = harness.channel.sent_of(EngineStateMsg)[-1]
+        assert msg.vulnerable.is_valid
+
+    def test_un_receiving_action_installs_and_joins_1b(self):
+        """Transition 1b: an action in Un proves some server installed
+        the primary and generated actions; install, mark the action
+        yellow, and join it in TransPrim."""
+        harness = EngineHarness(1)
+        conf = self.drive_to_construct(harness)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.trans_conf((1, 2))
+        harness.cpc(3, conf, in_transitional=True)
+        assert harness.engine.state is EngineState.UN
+        prim_before = harness.engine.prim_component.prim_index
+        act = harness.action(3, 1, update=("SET", "proof", 1),
+                             in_transitional=True)
+        assert harness.engine.state is EngineState.TRANS_PRIM
+        assert harness.engine.prim_component.prim_index \
+            == prim_before + 1
+        assert act.action_id in harness.engine.yellow.set
+
+
+class TestClientBuffering:
+    def test_client_requests_buffered_until_stable_state(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        harness.engine.submit(("SET", "k", 1))
+        # ExchangeStates buffers (A.4): nothing multicast yet.
+        from repro.core.messages import EngineActionMsg
+        assert not [m for m in harness.channel.sent_of(EngineActionMsg)
+                    if not m.retrans]
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        harness.state_msg(3, conf)
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.cpc(3, conf)
+        harness.run(0.01)
+        sent = [m for m in harness.channel.sent_of(EngineActionMsg)
+                if not m.retrans]
+        assert len(sent) == 1
+
+    def test_submit_after_exit_rejected(self):
+        harness = EngineHarness(1)
+        harness.engine.exited = True
+        with pytest.raises(RuntimeError):
+            harness.engine.submit(("SET", "k", 1))

@@ -1,0 +1,176 @@
+"""Extended protocol-level engine tests: yellow propagation through
+exchanges, vulnerable persistence, OR-3 marking, and the construct
+buffer — driven deterministically through the FakeChannel harness."""
+
+import pytest
+
+from repro.core import EngineState, PrimComponent, Vulnerable
+from repro.core.messages import (EngineActionMsg, EngineCpcMsg,
+                                 EngineStateMsg)
+from repro.db import Action, ActionId
+
+from engine_harness import EngineHarness
+
+
+def build_primary(harness, members=(1, 2, 3)):
+    conf = harness.reg_conf(members)
+    harness.own_state_msg(conf)
+    for member in members:
+        if member != harness.engine.server_id:
+            harness.state_msg(member, conf)
+    harness.own_cpc(conf)
+    for member in members:
+        if member != harness.engine.server_id:
+            harness.cpc(member, conf)
+    assert harness.engine.state is EngineState.REG_PRIM
+    return conf
+
+
+class TestYellowThroughExchange:
+    def drive_to_yellow(self, harness):
+        build_primary(harness)
+        harness.action(2, 1, update=("SET", "pre", 1))
+        harness.trans_conf((1, 2))
+        harness.action(3, 1, update=("SET", "y", 1),
+                       in_transitional=True)
+        harness.reg_conf((1, 2))
+        return harness
+
+    def test_install_greens_yellow_before_red(self):
+        harness = EngineHarness(1)
+        self.drive_to_yellow(harness)
+        conf = harness.engine.conf
+        # During the new exchange a fresh red arrives from server 2.
+        harness.own_state_msg(conf)
+        msg = harness.channel.sent_of(EngineStateMsg)[-1]
+        harness.state_msg(2, conf, green_count=msg.green_count,
+                          red_cut=dict(msg.red_cut),
+                          prim=(msg.prim_component.prim_index,
+                                msg.prim_component.attempt_index,
+                                msg.prim_component.servers),
+                          yellow_valid=True,
+                          yellow_ids=(ActionId(3, 1),))
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        assert harness.engine.state is EngineState.REG_PRIM
+        # OR-1.2: the yellow action got the first new green position.
+        log = harness.database.applied_log
+        assert log[-1] == ActionId(3, 1)
+        assert harness.database.state["y"] == 1
+
+    def test_yellow_dropped_when_peer_lacks_it(self):
+        """The computed yellow is the intersection: if the other valid
+        member did not deliver the action in its transitional conf, it
+        is not yellow system-wide."""
+        harness = EngineHarness(1)
+        self.drive_to_yellow(harness)
+        conf = harness.engine.conf
+        harness.own_state_msg(conf)
+        msg = harness.channel.sent_of(EngineStateMsg)[-1]
+        harness.state_msg(2, conf, green_count=msg.green_count,
+                          red_cut=dict(msg.red_cut),
+                          prim=(msg.prim_component.prim_index,
+                                msg.prim_component.attempt_index,
+                                msg.prim_component.servers),
+                          yellow_valid=True, yellow_ids=())
+        assert harness.engine.yellow.is_valid
+        assert harness.engine.yellow.set == []
+        # The action is still red and gets greened by OR-2 at install.
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        assert harness.database.state["y"] == 1
+
+
+class TestConstructBuffer:
+    def test_action_in_construct_greens_after_install(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        harness.state_msg(3, conf)
+        assert harness.engine.state is EngineState.CONSTRUCT
+        # A resubmitted in-flight action lands before the CPC round.
+        harness.action(2, 1, update=("SET", "between", 1))
+        assert harness.database.state == {}
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.cpc(3, conf)
+        assert harness.engine.state is EngineState.REG_PRIM
+        assert harness.database.state["between"] == 1
+        assert ActionId(2, 1) in harness.database.applied_log
+
+    def test_construct_buffer_cleared_on_new_exchange(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        harness.state_msg(3, conf)
+        harness.action(2, 1, update=("SET", "between", 1))
+        # The install never completes; a new view arrives instead.
+        harness.trans_conf((1,))
+        harness.reg_conf((1,))
+        assert harness.engine._construct_buffer == []
+        assert harness.database.state == {}
+
+
+class TestVulnerablePersistence:
+    def test_vulnerable_synced_before_cpc(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2))
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        assert harness.engine.state is EngineState.CONSTRUCT
+        # The CPC is only multicast after the vulnerable record synced.
+        assert harness.channel.sent_of(EngineCpcMsg)
+        stored = harness.store.get("vulnerable")
+        assert stored is not None and stored.is_valid
+        assert stored.set == (1, 2)
+        assert stored.bits[1] is True  # own bit
+
+    def test_attempt_index_increments_per_attempt(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2))
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf)
+        first_attempt = harness.engine.attempt_index
+        # The attempt fails (trans conf); the next one must use a
+        # higher index.
+        harness.trans_conf((1,))
+        harness.reg_conf((1, 2))
+        harness.own_state_msg(harness.engine.conf)
+        harness.state_msg(2, harness.engine.conf,
+                          attempt_index=first_attempt)
+        assert harness.engine.attempt_index == first_attempt + 1
+
+
+class TestFifoPendingDrain:
+    def test_gap_arrival_parked_and_drained(self):
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        # Actions of server 2 arrive out of FIFO (gap at index 1) —
+        # only possible across recovery boundaries; the engine parks.
+        harness.action(2, 2, update=("SET", "b", 2))
+        assert harness.engine.queue.red_cut[2] == 0
+        assert 2 in harness.engine._fifo_pending
+        harness.action(2, 1, update=("SET", "a", 1))
+        # Drained: both red now, in index order.
+        assert harness.engine.queue.red_cut[2] == 2
+        reds = [a.action_id for a in harness.engine.queue.red_actions()]
+        assert reds == [ActionId(2, 1), ActionId(2, 2)]
+
+    def test_exit_during_install_stops_marking(self):
+        """A PERSISTENT_LEAVE for this server inside Install's OR-2
+        loop stops further green-marking cleanly."""
+        from repro.db import leave_action
+        harness = EngineHarness(1)
+        conf = harness.reg_conf((1, 2, 3))
+        leave = leave_action(ActionId(2, 1), 1)
+        harness.channel.deliver(EngineActionMsg(action=leave), origin=2)
+        harness.run()
+        harness.own_state_msg(conf)
+        harness.state_msg(2, conf, red_cut={2: 1})
+        harness.state_msg(3, conf, red_cut={2: 1})
+        harness.own_cpc(conf)
+        harness.cpc(2, conf)
+        harness.cpc(3, conf)
+        assert harness.engine.exited

@@ -1,0 +1,78 @@
+"""Engine statistics counters: observable, correct, and useful."""
+
+import pytest
+
+from conftest import make_cluster
+
+
+@pytest.fixture
+def cluster():
+    c = make_cluster(3)
+    c.start_all(settle=1.0)
+    return c
+
+
+def stats_sum(cluster, key):
+    return sum(r.engine.stats[key] for r in cluster.replicas.values())
+
+
+def test_client_requests_counted_at_origin(cluster):
+    client = cluster.client(2)
+    for _ in range(4):
+        client.submit(("INC", "n", 1))
+    cluster.run_for(1.0)
+    assert cluster.replicas[2].engine.stats["client_requests"] == 4
+    assert cluster.replicas[1].engine.stats["client_requests"] == 0
+
+
+def test_greens_counted_at_every_replica(cluster):
+    client = cluster.client(1)
+    for _ in range(5):
+        client.submit(("INC", "n", 1))
+    cluster.run_for(1.0)
+    for replica in cluster.replicas.values():
+        assert replica.engine.stats["greens"] == 5
+
+
+def test_exchanges_count_view_changes(cluster):
+    before = stats_sum(cluster, "exchanges")
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.5)
+    cluster.heal()
+    cluster.run_for(1.5)
+    # Each replica ran at least two more exchanges (split + merge).
+    assert stats_sum(cluster, "exchanges") >= before + 6
+
+
+def test_installs_track_primary_formations(cluster):
+    assert stats_sum(cluster, "installs") == 3  # the initial primary
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.5)
+    cluster.heal()
+    cluster.run_for(1.5)
+    # Split primary {2,3} (2 installs) + merged primary (3 installs).
+    assert stats_sum(cluster, "installs") == 3 + 2 + 3
+
+
+def test_retransmissions_happen_only_when_needed(cluster):
+    client = cluster.client(1)
+    for _ in range(5):
+        client.submit(("INC", "n", 1))
+    cluster.run_for(1.0)
+    assert stats_sum(cluster, "retrans_actions") == 0
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.0)
+    cluster.client(2).submit(("SET", "gap", 1))
+    cluster.run_for(0.5)
+    cluster.heal()
+    cluster.run_for(2.0)
+    # Node 1 missed 'gap': someone retransmitted it in the merge.
+    assert stats_sum(cluster, "retrans_actions") >= 1
+
+
+def test_state_and_cpc_message_counts_match_membership(cluster):
+    state_msgs = stats_sum(cluster, "state_msgs_sent")
+    cpcs = stats_sum(cluster, "cpc_sent")
+    # Initial formation: one state message and one CPC per member.
+    assert state_msgs == 3
+    assert cpcs == 3

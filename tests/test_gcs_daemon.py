@@ -1,0 +1,268 @@
+"""Integration-level tests of the GCS daemon: views, ordering, EVS."""
+
+import pytest
+
+from repro.gcs import (Configuration, DaemonState, GcsDaemon, GcsListener,
+                       GcsSettings, ServiceLevel)
+from repro.net import Network, NetworkProfile, Topology
+from repro.sim import RandomStreams, Simulator
+
+
+def fast_settings(**overrides):
+    params = dict(heartbeat_interval=0.02, failure_timeout=0.08,
+                  gather_settle=0.02, phase_timeout=0.15,
+                  nack_timeout=0.01)
+    params.update(overrides)
+    return GcsSettings(**params)
+
+
+class Recorder(GcsListener):
+    def __init__(self, node):
+        self.node = node
+        self.events = []
+
+    def on_regular_conf(self, conf):
+        self.events.append(("reg", conf.view_id,
+                            tuple(sorted(conf.members))))
+
+    def on_transitional_conf(self, conf):
+        self.events.append(("trans", tuple(sorted(conf.members))))
+
+    def on_message(self, payload, origin, in_transitional, service):
+        self.events.append(("msg", payload, origin, in_transitional))
+
+    def messages(self):
+        return [e[1] for e in self.events if e[0] == "msg"]
+
+    def regular_views(self):
+        return [e for e in self.events if e[0] == "reg"]
+
+
+class Harness:
+    def __init__(self, nodes=(1, 2, 3), seed=0, loss=0.0, **settings):
+        self.sim = Simulator()
+        self.nodes = list(nodes)
+        self.topology = Topology(self.nodes)
+        profile = NetworkProfile(loss_rate=loss, jitter=0.0)
+        self.network = Network(self.sim, self.topology, profile,
+                               rng=RandomStreams(seed).stream("net"))
+        self.settings = fast_settings(**settings)
+        self.daemons = {}
+        self.recorders = {}
+        directory = set(self.nodes)
+        for node in self.nodes:
+            daemon = GcsDaemon(self.sim, node, self.network, directory,
+                               self.settings)
+            self.recorders[node] = Recorder(node)
+            daemon.listener = self.recorders[node]
+            daemon.start()
+            self.daemons[node] = daemon
+
+    def join_all(self, settle=0.5):
+        for node in self.nodes:
+            self.daemons[node].join()
+        self.sim.run(until=self.sim.now + settle)
+
+    def run(self, duration):
+        self.sim.run(until=self.sim.now + duration)
+
+    def common_view(self):
+        views = {d.view.view_id for d in self.daemons.values()
+                 if d.view is not None}
+        assert len(views) == 1, views
+        return views.pop()
+
+
+def test_initial_view_includes_everyone():
+    h = Harness()
+    h.join_all()
+    view = h.common_view()
+    for daemon in h.daemons.values():
+        assert daemon.view.members == frozenset(h.nodes)
+        assert daemon.state == DaemonState.OPERATIONAL
+    assert view.coordinator == 1
+
+
+def test_safe_multicast_total_order():
+    h = Harness()
+    h.join_all()
+    for i in range(5):
+        h.daemons[1].multicast(("a", i))
+        h.daemons[2].multicast(("b", i))
+        h.daemons[3].multicast(("c", i))
+    h.run(0.5)
+    messages = [h.recorders[n].messages() for n in h.nodes]
+    assert len(messages[0]) == 15
+    assert messages[0] == messages[1] == messages[2]
+
+
+def test_fifo_per_origin():
+    h = Harness()
+    h.join_all()
+    for i in range(10):
+        h.daemons[2].multicast(("x", i))
+    h.run(0.5)
+    for node in h.nodes:
+        from_two = [m for m in h.recorders[node].messages()
+                    if m[0] == "x"]
+        assert from_two == [("x", i) for i in range(10)]
+
+
+def test_self_delivery():
+    h = Harness(nodes=(5,))
+    h.join_all()
+    h.daemons[5].multicast("solo")
+    h.run(0.2)
+    assert h.recorders[5].messages() == ["solo"]
+
+
+def test_multicast_requires_membership():
+    h = Harness()
+    with pytest.raises(RuntimeError):
+        h.daemons[1].multicast("too-early")
+
+
+def test_partition_installs_disjoint_views():
+    h = Harness(nodes=(1, 2, 3, 4, 5))
+    h.join_all()
+    h.topology.partition([[1, 2], [3, 4, 5]])
+    h.run(1.0)
+    assert h.daemons[1].view.members == frozenset({1, 2})
+    assert h.daemons[3].view.members == frozenset({3, 4, 5})
+    assert h.daemons[1].view.view_id != h.daemons[3].view.view_id
+
+
+def test_transitional_conf_members_from_same_old_view():
+    h = Harness(nodes=(1, 2, 3, 4))
+    h.join_all()
+    h.topology.partition([[1, 2], [3, 4]])
+    h.run(1.0)
+    trans = [e for e in h.recorders[1].events if e[0] == "trans"]
+    # Boot transitional (singleton) + the partition transitional.
+    assert trans[-1] == ("trans", (1, 2))
+
+
+def test_merge_after_heal():
+    h = Harness()
+    h.join_all()
+    h.topology.partition([[1], [2, 3]])
+    h.run(1.0)
+    h.topology.heal()
+    h.run(1.0)
+    view = h.common_view()
+    assert h.daemons[1].view.members == frozenset({1, 2, 3})
+
+
+def test_messages_during_partition_stay_in_component():
+    h = Harness()
+    h.join_all()
+    h.topology.partition([[1], [2, 3]])
+    h.run(1.0)
+    h.daemons[1].multicast("minority")
+    h.daemons[2].multicast("majority")
+    h.run(0.5)
+    assert "minority" in h.recorders[1].messages()
+    assert "minority" not in h.recorders[2].messages()
+    assert "majority" in h.recorders[2].messages()
+    assert "majority" in h.recorders[3].messages()
+
+
+def test_relative_order_of_common_messages_across_components():
+    """EVS: messages delivered at two processes appear in the same
+    relative order everywhere, even across view changes."""
+    h = Harness()
+    h.join_all()
+    for i in range(5):
+        h.daemons[1].multicast(("pre", i))
+    h.run(0.5)
+    h.topology.partition([[1], [2, 3]])
+    h.run(1.0)
+    h.topology.heal()
+    h.run(1.0)
+    for i in range(3):
+        h.daemons[3].multicast(("post", i))
+    h.run(0.5)
+    logs = [h.recorders[n].messages() for n in h.nodes]
+    for other in logs[1:]:
+        common = [m for m in logs[0] if m in other]
+        filtered = [m for m in other if m in logs[0]]
+        assert common == filtered
+
+
+def test_crash_triggers_view_change():
+    h = Harness()
+    h.join_all()
+    h.topology.crash(2)
+    h.daemons[2].crash()
+    h.run(1.0)
+    assert h.daemons[1].view.members == frozenset({1, 3})
+
+
+def test_recovered_daemon_rejoins_fresh():
+    h = Harness()
+    h.join_all()
+    h.topology.crash(2)
+    h.daemons[2].crash()
+    h.run(1.0)
+    h.topology.recover(2)
+    h.daemons[2].recover()
+    h.daemons[2].join()
+    h.run(1.0)
+    assert h.daemons[2].view.members == frozenset({1, 2, 3})
+    assert h.daemons[1].view.view_id == h.daemons[2].view.view_id
+
+
+def test_leave_shrinks_view():
+    h = Harness()
+    h.join_all()
+    h.daemons[3].leave()
+    h.run(1.0)
+    assert h.daemons[1].view.members == frozenset({1, 2})
+    assert h.daemons[3].view is None
+
+
+def test_loss_recovery_via_nack():
+    # Generous failure/phase timeouts so that 15% loss exercises the
+    # NACK data-recovery path rather than membership churn (lost
+    # messages across view changes are the *engine's* job to repair).
+    h = Harness(loss=0.15, seed=11, failure_timeout=1.0,
+                phase_timeout=0.5, heartbeat_interval=0.05)
+    h.join_all(settle=3.0)
+    view = h.common_view()
+    for i in range(20):
+        h.daemons[1].multicast(("lossy", i))
+    h.run(3.0)
+    assert h.common_view() == view  # no membership churn happened
+    logs = [h.recorders[n].messages() for n in h.nodes]
+    expected = [("lossy", i) for i in range(20)]
+    for log in logs:
+        assert [m for m in log if m[0] == "lossy"] == expected
+
+
+def test_view_ids_monotonic_per_node():
+    h = Harness()
+    h.join_all()
+    h.topology.partition([[1], [2, 3]])
+    h.run(1.0)
+    h.topology.heal()
+    h.run(1.0)
+    for node in h.nodes:
+        epochs = [v[1].epoch for v in h.recorders[node].regular_views()]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == len(epochs)
+
+
+def test_safe_delivery_latency_is_milliseconds():
+    h = Harness()
+    h.join_all()
+    start = h.sim.now
+    latency = []
+
+    class Probe(GcsListener):
+        def on_message(self, payload, origin, in_transitional, service):
+            latency.append(h.sim.now - start)
+
+    h.daemons[3].listener = Probe()
+    h.daemons[1].multicast("timed")
+    h.run(0.2)
+    assert latency and latency[0] < 0.01

@@ -1,0 +1,105 @@
+"""GCS daemon edge cases: crashes mid-protocol, idle-ring pacing,
+heartbeat piggybacked stability."""
+
+import pytest
+
+from repro.gcs import DaemonState, GcsDaemon, GcsListener, GcsSettings
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def fast(**overrides):
+    params = dict(heartbeat_interval=0.02, failure_timeout=0.08,
+                  gather_settle=0.02, phase_timeout=0.15,
+                  nack_timeout=0.01)
+    params.update(overrides)
+    return GcsSettings(**params)
+
+
+class Recorder(GcsListener):
+    def __init__(self):
+        self.msgs = []
+
+    def on_message(self, payload, origin, in_transitional, service):
+        self.msgs.append(payload)
+
+
+def build(nodes=(1, 2, 3), **overrides):
+    sim = Simulator()
+    topo = Topology(list(nodes))
+    net = Network(sim, topo)
+    daemons, recorders = {}, {}
+    for node in nodes:
+        daemon = GcsDaemon(sim, node, net, set(nodes), fast(**overrides))
+        recorders[node] = Recorder()
+        daemon.listener = recorders[node]
+        daemon.start()
+        daemons[node] = daemon
+    for node in nodes:
+        daemons[node].join()
+    sim.run(until=1.0)
+    return sim, topo, net, daemons, recorders
+
+
+def test_coordinator_crash_mid_flush_recovers():
+    sim, topo, _net, daemons, _recs = build()
+    # Force a membership round, then kill the coordinator (node 1)
+    # the instant it starts coordinating.
+    daemons[2]._enter_gather(daemons[2].attempt + 1)
+    sim.run(until=sim.now + 0.03)     # gather spreading
+    topo.crash(1)
+    daemons[1].crash()
+    sim.run(until=sim.now + 2.0)
+    assert daemons[2].view.members == frozenset({2, 3})
+    assert daemons[2].state == DaemonState.OPERATIONAL
+
+
+def test_member_crash_mid_flush_recovers():
+    sim, topo, _net, daemons, _recs = build()
+    daemons[1]._enter_gather(daemons[1].attempt + 1)
+    sim.run(until=sim.now + 0.03)
+    topo.crash(3)
+    daemons[3].crash()
+    sim.run(until=sim.now + 2.0)
+    assert daemons[1].view.members == frozenset({1, 2})
+
+
+def test_heartbeats_carry_stability_acks():
+    """With the ack timer effectively disabled, heartbeat piggybacking
+    alone must still let SAFE messages stabilize (slowly)."""
+    sim, _topo, _net, daemons, recorders = build(ack_window=10.0)
+    daemons[2].multicast("slow-but-sure")
+    sim.run(until=sim.now + 1.0)
+    for recorder in recorders.values():
+        assert "slow-but-sure" in recorder.msgs
+
+
+def test_leave_during_membership_settles():
+    sim, _topo, _net, daemons, _recs = build()
+    daemons[1]._enter_gather(daemons[1].attempt + 1)
+    daemons[3].leave()
+    sim.run(until=sim.now + 2.0)
+    assert daemons[1].view.members == frozenset({1, 2})
+    assert daemons[3].view is None
+
+
+def test_detached_node_does_not_block_messaging():
+    sim, topo, _net, daemons, recorders = build()
+    topo.crash(2)
+    daemons[2].crash()
+    sim.run(until=sim.now + 1.0)
+    daemons[1].multicast("without-2")
+    sim.run(until=sim.now + 0.5)
+    assert "without-2" in recorders[3].msgs
+    assert "without-2" not in recorders[2].msgs
+
+
+def test_message_counters_track_activity():
+    sim, _topo, net, daemons, _recs = build()
+    sent_before = net.datagrams_sent
+    for i in range(5):
+        daemons[1].multicast(("m", i))
+    sim.run(until=sim.now + 0.5)
+    assert daemons[1].messages_multicast == 5
+    assert all(d.deliveries >= 5 for d in daemons.values())
+    assert net.datagrams_sent > sent_before

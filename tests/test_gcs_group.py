@@ -1,0 +1,87 @@
+"""Tests for the Spread-like GroupChannel facade."""
+
+import pytest
+
+from repro.gcs import GcsDaemon, GcsSettings, GroupChannel, ServiceLevel
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def build_pair():
+    sim = Simulator()
+    topo = Topology([1, 2])
+    net = Network(sim, topo)
+    settings = GcsSettings(heartbeat_interval=0.02, failure_timeout=0.08,
+                           gather_settle=0.02, phase_timeout=0.15)
+    channels = {}
+    for node in (1, 2):
+        daemon = GcsDaemon(sim, node, net, {1, 2}, settings)
+        daemon.start()
+        channels[node] = GroupChannel(daemon)
+    return sim, topo, channels
+
+
+def test_join_and_current_view():
+    sim, _topo, channels = build_pair()
+    channels[1].join()
+    channels[2].join()
+    sim.run(until=1.0)
+    assert channels[1].current_view is not None
+    assert channels[1].current_view.members == frozenset({1, 2})
+
+
+def test_message_and_conf_handlers():
+    sim, _topo, channels = build_pair()
+    events = []
+    channels[2].message_handler = (
+        lambda payload, origin, in_trans, service:
+        events.append(("msg", payload, origin, service)))
+    channels[2].conf_handler = (
+        lambda conf: events.append(("conf", conf.transitional)))
+    channels[1].join()
+    channels[2].join()
+    sim.run(until=1.0)
+    channels[1].multicast("hello", ServiceLevel.SAFE)
+    sim.run(until=1.5)
+    kinds = [e[0] for e in events]
+    assert "conf" in kinds and "msg" in kinds
+    msg = next(e for e in events if e[0] == "msg")
+    assert msg[1] == "hello"
+    assert msg[2] == 1
+    assert msg[3] is ServiceLevel.SAFE
+
+
+def test_conf_handler_sees_transitional_and_regular():
+    sim, topo, channels = build_pair()
+    confs = []
+    channels[1].conf_handler = lambda conf: confs.append(
+        (conf.transitional, tuple(sorted(conf.members))))
+    channels[1].join()
+    channels[2].join()
+    sim.run(until=1.0)
+    topo.partition([[1], [2]])
+    sim.run(until=2.0)
+    # The split delivers a transitional conf then a regular singleton.
+    assert (True, (1,)) in confs
+    assert (False, (1,)) in confs
+
+
+def test_leave_via_facade():
+    sim, _topo, channels = build_pair()
+    channels[1].join()
+    channels[2].join()
+    sim.run(until=1.0)
+    channels[2].leave()
+    sim.run(until=2.0)
+    assert channels[2].current_view is None
+    assert channels[1].current_view.members == frozenset({1})
+
+
+def test_handlers_optional():
+    """Without handlers assigned, deliveries must not crash."""
+    sim, _topo, channels = build_pair()
+    channels[1].join()
+    channels[2].join()
+    sim.run(until=1.0)
+    channels[1].multicast("ignored")
+    sim.run(until=1.5)

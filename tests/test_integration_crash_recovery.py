@@ -1,0 +1,138 @@
+"""Crash/recovery integration: A.13 plus the vulnerable mechanism."""
+
+import pytest
+
+from repro.core import EngineState
+
+from conftest import make_cluster
+
+
+@pytest.fixture
+def loaded_cluster():
+    """A 3-replica cluster with 6 committed actions."""
+    cluster = make_cluster(3)
+    cluster.start_all(settle=1.0)
+    client = cluster.client(1)
+    for i in range(6):
+        client.submit(("SET", f"k{i}", i))
+    cluster.run_for(1.0)
+    assert client.completed == 6
+    return cluster
+
+
+def test_crash_of_minority_member_keeps_primary(loaded_cluster):
+    c = loaded_cluster
+    c.crash(3)
+    c.run_for(1.5)
+    assert sorted(c.primary_members()) == [1, 2]
+    client = c.client(1)
+    client.submit(("SET", "while-down", 1))
+    c.run_for(0.5)
+    assert client.completed == 1
+
+
+def test_recovered_replica_catches_up(loaded_cluster):
+    c = loaded_cluster
+    c.crash(3)
+    c.run_for(1.0)
+    client = c.client(1)
+    for i in range(3):
+        client.submit(("SET", f"down{i}", i))
+    c.run_for(1.0)
+    c.recover(3)
+    c.run_for(2.0)
+    c.assert_converged()
+    assert c.replicas[3].database.state["down2"] == 2
+
+
+def test_recovery_restores_durable_prefix(loaded_cluster):
+    c = loaded_cluster
+    # Let checkpoints flush, then crash and recover in isolation.
+    c.run_for(1.0)
+    c.partition([1, 2], [3])
+    c.run_for(1.0)
+    c.crash(3)
+    c.run_for(0.5)
+    c.recover(3)
+    c.run_for(1.5)
+    engine = c.replicas[3].engine
+    # Alone, it cannot form a primary, but its durable greens survive.
+    assert engine.state is EngineState.NON_PRIM
+    assert engine.queue.green_count == 6
+    c.heal()
+    c.run_for(2.0)
+    c.assert_converged()
+
+
+def test_majority_crash_blocks_then_heals(loaded_cluster):
+    c = loaded_cluster
+    c.crash(1)
+    c.crash(2)
+    c.run_for(1.5)
+    # 3 alone: 1 of 3 of the last primary -> no quorum.
+    assert c.primary_members() == []
+    c.recover(1)
+    c.recover(2)
+    c.run_for(2.5)
+    assert len(c.primary_members()) == 3
+    c.assert_converged()
+
+
+def test_full_cluster_crash_requires_full_exchange(loaded_cluster):
+    """If all servers of the primary crash, they all must exchange
+    information before a new primary can form (Section 5)."""
+    c = loaded_cluster
+    for node in (1, 2, 3):
+        c.crash(node)
+    c.run_for(0.5)
+    c.recover(1)
+    c.recover(2)
+    c.run_for(2.5)
+    # 1 and 2 are a majority of the old primary, but 3 may hold
+    # knowledge of safe messages only it processed: because all three
+    # crashed while vulnerable, the attempt cannot be resolved without
+    # node 3's state.
+    assert c.primary_members() == []
+    c.recover(3)
+    c.run_for(2.5)
+    assert len(c.primary_members()) == 3
+    c.assert_converged()
+
+
+def test_partial_crash_recovery_is_consistent(loaded_cluster):
+    c = loaded_cluster
+    c.crash(2)
+    c.run_for(1.0)
+    client = c.client(1)
+    client.submit(("SET", "gap", "missed-by-2"))
+    c.run_for(0.5)
+    c.crash(1)
+    c.run_for(0.5)
+    c.recover(1)
+    c.recover(2)
+    c.run_for(3.0)
+    c.assert_converged()
+    assert c.replicas[2].database.state.get("gap") == "missed-by-2"
+
+
+def test_client_state_survives_recovery(loaded_cluster):
+    """Actions journaled in the ongoingQueue are re-marked red on
+    recovery (A.13) and eventually ordered."""
+    c = loaded_cluster
+    # Partition node 1 so its new action stays red (non-primary).
+    c.partition([1], [2, 3])
+    c.run_for(1.0)
+    c.replicas[1].submit(("SET", "journaled", 1))
+    c.run_for(0.5)
+    c.crash(1)
+    c.run_for(0.3)
+    c.recover(1)
+    c.run_for(1.0)
+    # The recovered replica re-marked its own journaled action red.
+    engine = c.replicas[1].engine
+    reds = [a.action_id.server_id for a in engine.queue.red_actions()]
+    assert 1 in reds
+    c.heal()
+    c.run_for(2.5)
+    c.assert_converged()
+    assert c.replicas[3].database.state.get("journaled") == 1

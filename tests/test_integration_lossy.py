@@ -1,0 +1,121 @@
+"""Full-stack integration under packet loss and at larger scale.
+
+The engine never sees the loss — the GCS NACK/flush machinery repairs
+it — but end-to-end correctness under a lossy fabric is exactly what
+"seamless integration over unreliable networks" promises.
+"""
+
+import pytest
+
+from repro.core import EngineState
+from repro.net import NetworkProfile
+
+from conftest import fast_disk_profile, fast_gcs_settings, make_cluster
+
+
+def lossy_cluster(n=3, loss=0.05, seed=0):
+    profile = NetworkProfile(loss_rate=loss)
+    # Generous failure/phase timers so loss exercises retransmission,
+    # not membership churn.
+    settings = fast_gcs_settings(failure_timeout=0.6, phase_timeout=0.5,
+                                 heartbeat_interval=0.05)
+    return make_cluster(n, seed=seed, network_profile=profile,
+                        gcs_settings=settings)
+
+
+class TestLossyFabric:
+    def test_commits_through_five_percent_loss(self):
+        cluster = lossy_cluster(loss=0.05, seed=3)
+        cluster.start_all(settle=3.0)
+        client = cluster.client(1)
+        for i in range(20):
+            client.submit(("INC", "n", 1))
+        cluster.run_for(5.0)
+        assert client.completed == 20
+        cluster.assert_converged()
+        assert cluster.replicas[3].database.state["n"] == 20
+
+    def test_partition_merge_through_loss(self):
+        cluster = lossy_cluster(loss=0.03, seed=5)
+        cluster.start_all(settle=3.0)
+        client = cluster.client(2)
+        client.submit(("SET", "pre", 1))
+        cluster.run_for(2.0)
+        cluster.partition([1], [2, 3])
+        cluster.run_for(3.0)
+        client.submit(("SET", "mid", 2))
+        cluster.run_for(2.0)
+        cluster.heal()
+        cluster.run_for(5.0)
+        cluster.assert_converged()
+        assert cluster.replicas[1].database.state.get("mid") == 2
+
+    def test_loss_inflates_messages_not_results(self):
+        clean = lossy_cluster(loss=0.0, seed=7)
+        lossy = lossy_cluster(loss=0.05, seed=7)
+        results = {}
+        for name, cluster in (("clean", clean), ("lossy", lossy)):
+            cluster.start_all(settle=3.0)
+            client = cluster.client(1)
+            for i in range(10):
+                client.submit(("INC", "n", 1))
+            cluster.run_for(5.0)
+            cluster.assert_converged()
+            results[name] = (client.completed,
+                             cluster.replicas[2].database.state["n"],
+                             cluster.network.datagrams_dropped)
+        assert results["clean"][0] == results["lossy"][0] == 10
+        assert results["clean"][1] == results["lossy"][1] == 10
+        assert results["lossy"][2] > results["clean"][2]
+
+
+class TestLargerScale:
+    def test_seven_replica_lifecycle(self):
+        cluster = make_cluster(7, seed=11)
+        cluster.start_all(settle=1.5)
+        clients = {n: cluster.client(n) for n in range(1, 8)}
+        for i in range(3):
+            for client in clients.values():
+                client.submit(("INC", "total", 1))
+        cluster.run_for(1.5)
+        assert all(c.completed == 3 for c in clients.values())
+
+        # 4-3 split: the 4-side keeps the primary.
+        cluster.partition([1, 2, 3, 4], [5, 6, 7])
+        cluster.run_for(2.0)
+        assert sorted(cluster.primary_members()) == [1, 2, 3, 4]
+        clients[1].submit(("INC", "total", 1))
+        cluster.run_for(1.0)
+
+        # Further split of the primary: 3 of the last prim {1,2,3,4}.
+        cluster.partition([1, 2, 3], [4, 5, 6, 7])
+        cluster.run_for(2.0)
+        assert sorted(cluster.primary_members()) == [1, 2, 3]
+
+        cluster.heal()
+        cluster.run_for(4.0)
+        cluster.assert_converged()
+        assert cluster.replicas[7].database.state["total"] == 22
+        assert len(cluster.primary_members()) == 7
+
+    def test_seven_replicas_rolling_crashes(self):
+        cluster = make_cluster(7, seed=13)
+        cluster.start_all(settle=1.5)
+        client = cluster.client(1)
+        busy = [True]
+
+        def again(_a=None, _p=None, _r=None):
+            if busy[0]:
+                client.submit(("INC", "n", 1), on_complete=again)
+        again()
+        for node in (7, 6, 5):           # roll through three crashes
+            cluster.crash(node)
+            cluster.run_for(1.0)
+        assert sorted(cluster.primary_members()) == [1, 2, 3, 4]
+        for node in (5, 6, 7):
+            cluster.recover(node)
+            cluster.run_for(1.5)
+        busy[0] = False
+        cluster.run_for(3.0)
+        cluster.assert_converged()
+        assert client.completed > 50

@@ -1,0 +1,93 @@
+"""Unit tests for fault scripts and random fault schedules."""
+
+import random
+
+from repro.net import (FaultEvent, FaultScript, Topology,
+                       random_fault_schedule)
+from repro.net.faults import random_partition
+from repro.sim import Simulator
+
+
+def test_fault_event_apply():
+    topo = Topology([1, 2, 3])
+    FaultEvent(0.0, "partition", [[1], [2, 3]]).apply(topo)
+    assert not topo.reachable(1, 2)
+    FaultEvent(0.0, "heal").apply(topo)
+    assert topo.reachable(1, 2)
+    FaultEvent(0.0, "crash", 1).apply(topo)
+    assert not topo.is_alive(1)
+    FaultEvent(0.0, "recover", 1).apply(topo)
+    assert topo.is_alive(1)
+    FaultEvent(0.0, "isolate", 2).apply(topo)
+    assert not topo.reachable(2, 3)
+    FaultEvent(0.0, "merge", [[2], [3]]).apply(topo)
+    assert topo.reachable(2, 3)
+
+
+def test_unknown_op_rejected():
+    topo = Topology([1])
+    try:
+        FaultEvent(0.0, "explode").apply(topo)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_script_installs_in_time_order():
+    sim = Simulator()
+    topo = Topology([1, 2])
+    log = []
+    script = (FaultScript()
+              .heal(2.0)
+              .partition(1.0, [[1], [2]]))
+    script.install(sim, topo, on_event=lambda e: log.append(e.op))
+    sim.run()
+    assert log == ["partition", "heal"]
+    assert topo.reachable(1, 2)
+
+
+def test_script_builder_chaining():
+    script = (FaultScript()
+              .partition(1.0, [[1], [2]])
+              .crash(2.0, 1)
+              .recover(3.0, 1)
+              .isolate(4.0, 2)
+              .merge(5.0, [1], [2])
+              .heal(6.0))
+    assert len(script.events) == 6
+
+
+def test_random_partition_covers_all_nodes():
+    rng = random.Random(0)
+    for _ in range(50):
+        groups = random_partition([1, 2, 3, 4, 5], rng)
+        flat = sorted(n for g in groups for n in g)
+        assert flat == [1, 2, 3, 4, 5]
+        assert all(g for g in groups)
+
+
+def test_random_schedule_ends_healed_and_recovered():
+    rng = random.Random(7)
+    nodes = [1, 2, 3, 4]
+    script = random_fault_schedule(nodes, rng, horizon=10.0, rate=2.0)
+    sim = Simulator()
+    topo = Topology(nodes)
+    script.install(sim, topo)
+    sim.run()
+    assert all(topo.is_alive(n) for n in nodes)
+    assert len(topo.components()) == 1
+
+
+def test_random_schedule_is_deterministic():
+    a = random_fault_schedule([1, 2, 3], random.Random(5), 10.0, 1.0)
+    b = random_fault_schedule([1, 2, 3], random.Random(5), 10.0, 1.0)
+    assert [(e.time, e.op) for e in a.events] == \
+        [(e.time, e.op) for e in b.events]
+
+
+def test_random_schedule_no_crashes_option():
+    script = random_fault_schedule([1, 2, 3], random.Random(1), 20.0,
+                                   rate=3.0, allow_crashes=False)
+    assert all(e.op not in ("crash", "recover")
+               for e in script.events[:-1])

@@ -1,0 +1,50 @@
+"""Tests for the network profile presets."""
+
+import pytest
+
+from repro.net import (NetworkProfile, lan_profile,
+                       lossless_instant_profile, wan_profile)
+from repro.sim import RandomStreams
+
+
+def test_lan_profile_defaults():
+    profile = lan_profile()
+    assert profile.propagation_delay == pytest.approx(0.00015)
+    assert profile.loss_rate == 0.0
+    # 200 B at 100 Mbit/s = 16 microseconds.
+    assert profile.serialization_delay(200) == pytest.approx(1.6e-5)
+
+
+def test_wan_profile_defaults_and_overrides():
+    profile = wan_profile()
+    assert profile.propagation_delay == pytest.approx(0.040)
+    assert profile.loss_rate > 0
+    quiet = wan_profile(loss_rate=0.0)
+    assert quiet.loss_rate == 0.0
+    assert quiet.propagation_delay == pytest.approx(0.040)
+
+
+def test_instant_profile_costs_nothing():
+    profile = lossless_instant_profile()
+    assert profile.serialization_delay(10_000) == 0.0
+    assert profile.sample_jitter(None) == 0.0
+    assert not profile.drops(None)
+
+
+def test_jitter_bounded_and_seeded():
+    profile = NetworkProfile(jitter=0.001)
+    rng = RandomStreams(1).stream("j")
+    samples = [profile.sample_jitter(rng) for _ in range(100)]
+    assert all(0.0 <= s <= 0.001 for s in samples)
+    rng2 = RandomStreams(1).stream("j")
+    assert samples == [profile.sample_jitter(rng2) for _ in range(100)]
+
+
+def test_zero_bandwidth_means_no_serialization():
+    profile = NetworkProfile(bandwidth=0.0)
+    assert profile.serialization_delay(1000) == 0.0
+
+
+def test_drops_requires_rng():
+    profile = NetworkProfile(loss_rate=1.0)
+    assert not profile.drops(None)  # no rng -> deterministic keep

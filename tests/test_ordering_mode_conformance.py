@@ -1,0 +1,85 @@
+"""Conformance: the engine's behaviour is identical under both
+total-order mechanisms (sequencer and token ring).
+
+Every scenario runs under both modes; the guarantees — convergence,
+quorum behaviour, recovery, join — must hold equally, since the engine
+consumes only the EVS interface.
+"""
+
+import pytest
+
+from repro.core import EngineState
+from repro.gcs import GcsSettings
+
+from conftest import make_cluster
+
+
+def settings_for(mode):
+    return GcsSettings(ordering_mode=mode, heartbeat_interval=0.02,
+                       failure_timeout=0.08, gather_settle=0.02,
+                       phase_timeout=0.15, token_timeout=0.3)
+
+
+@pytest.fixture(params=["sequencer", "token"])
+def mode_cluster(request):
+    cluster = make_cluster(3, gcs_settings=settings_for(request.param))
+    cluster.start_all(settle=1.5)
+    return cluster
+
+
+class TestConformance:
+    def test_commit_and_convergence(self, mode_cluster):
+        clients = {n: mode_cluster.client(n) for n in (1, 2, 3)}
+        for i in range(4):
+            for client in clients.values():
+                client.submit(("APPEND", "log", i))
+        mode_cluster.run_for(2.0)
+        assert all(c.completed == 4 for c in clients.values())
+        mode_cluster.assert_converged()
+
+    def test_minority_majority_partition(self, mode_cluster):
+        mode_cluster.partition([1], [2, 3])
+        mode_cluster.run_for(2.0)
+        assert sorted(mode_cluster.primary_members()) == [2, 3]
+        mode_cluster.replicas[1].submit(("SET", "red", 1))
+        client = mode_cluster.client(3)
+        client.submit(("SET", "green", 1))
+        mode_cluster.run_for(1.5)
+        assert client.completed == 1
+        mode_cluster.heal()
+        mode_cluster.run_for(3.0)
+        mode_cluster.assert_converged()
+        assert mode_cluster.replicas[2].database.state["red"] == 1
+
+    def test_crash_recovery(self, mode_cluster):
+        client = mode_cluster.client(1)
+        for i in range(3):
+            client.submit(("SET", f"k{i}", i))
+        mode_cluster.run_for(1.5)
+        mode_cluster.crash(2)
+        mode_cluster.run_for(1.5)
+        client.submit(("SET", "while-down", 1))
+        mode_cluster.run_for(1.0)
+        mode_cluster.recover(2)
+        mode_cluster.run_for(3.5)
+        mode_cluster.assert_converged()
+        assert mode_cluster.replicas[2].database.state["while-down"] == 1
+
+    def test_dynamic_join(self, mode_cluster):
+        client = mode_cluster.client(1)
+        client.submit(("SET", "base", 1))
+        mode_cluster.run_for(1.0)
+        mode_cluster.add_replica(4, peer=2)
+        mode_cluster.run_for(6.0)
+        mode_cluster.assert_converged()
+        assert mode_cluster.replicas[4].engine.state \
+            is EngineState.REG_PRIM
+        assert mode_cluster.replicas[4].database.state["base"] == 1
+
+    def test_no_quorum_three_way(self, mode_cluster):
+        mode_cluster.partition([1], [2], [3])
+        mode_cluster.run_for(2.0)
+        assert mode_cluster.primary_members() == []
+        mode_cluster.heal()
+        mode_cluster.run_for(3.0)
+        assert len(mode_cluster.primary_members()) == 3

@@ -1,0 +1,179 @@
+"""Property-based tests of the Extended Virtual Synchrony guarantees.
+
+These drive the GCS substrate directly (no replication engine) through
+random partition/merge schedules and check the delivery guarantees of
+Section 4.1 that the replication algorithm's correctness rests on:
+
+* relative order of commonly delivered messages is identical
+  everywhere;
+* a SAFE message delivered in a *regular* configuration at any member
+  is delivered at every member of that configuration (case 1 vs case 3
+  is impossible), at worst in the transitional configuration;
+* virtual synchrony — members installing the same next view from the
+  same previous view delivered the same message set in it.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gcs import (Configuration, GcsDaemon, GcsListener, GcsSettings,
+                       ServiceLevel)
+from repro.net import Network, Topology
+from repro.sim import RandomStreams, Simulator
+
+NODES = [1, 2, 3, 4]
+
+
+class EvsRecorder(GcsListener):
+    """Records deliveries with the view they happened in."""
+
+    def __init__(self, node):
+        self.node = node
+        self.current_view = None
+        self.deliveries = []     # (payload, view_id, in_transitional)
+        self.view_sets = {}      # view_id -> set of payloads delivered
+        self.views = []
+
+    def on_regular_conf(self, conf):
+        self.current_view = conf
+        self.views.append(conf)
+
+    def on_message(self, payload, origin, in_transitional, service):
+        view_id = (self.current_view.view_id
+                   if self.current_view is not None else None)
+        self.deliveries.append((payload, view_id, in_transitional))
+        if view_id is not None:
+            self.view_sets.setdefault(view_id, set()).add(payload)
+
+    def order(self):
+        return [payload for payload, _v, _t in self.deliveries]
+
+
+def build(seed=0):
+    sim = Simulator()
+    topology = Topology(NODES)
+    network = Network(sim, topology, rng=RandomStreams(seed).stream("n"))
+    settings_ = GcsSettings(heartbeat_interval=0.02, failure_timeout=0.08,
+                            gather_settle=0.02, phase_timeout=0.15)
+    daemons, recorders = {}, {}
+    for node in NODES:
+        daemon = GcsDaemon(sim, node, network, set(NODES), settings_)
+        recorder = EvsRecorder(node)
+        daemon.listener = recorder
+        daemon.start()
+        daemons[node] = daemon
+        recorders[node] = recorder
+    for node in NODES:
+        daemons[node].join()
+    sim.run(until=1.0)
+    return sim, topology, daemons, recorders
+
+
+evs_step = st.one_of(
+    st.tuples(st.just("send"), st.sampled_from(NODES)),
+    st.tuples(st.just("partition"),
+              st.permutations(NODES).map(
+                  lambda order: [sorted(order[:2]), sorted(order[2:])])),
+    st.tuples(st.just("heal"), st.none()),
+    st.tuples(st.just("run"), st.sampled_from([0.1, 0.4])),
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(evs_step, min_size=2, max_size=14))
+def test_evs_guarantees_under_partition_schedules(scenario):
+    sim, topology, daemons, recorders = build()
+    counter = [0]
+    for kind, arg in scenario:
+        if kind == "send":
+            daemon = daemons[arg]
+            if daemon.joined:
+                counter[0] += 1
+                payload = (arg, counter[0])
+                try:
+                    daemon.multicast(payload, ServiceLevel.SAFE)
+                except RuntimeError:
+                    pass
+            sim.run(until=sim.now + 0.05)
+        elif kind == "partition":
+            topology.partition(arg)
+            sim.run(until=sim.now + 0.4)
+        elif kind == "heal":
+            topology.heal()
+            sim.run(until=sim.now + 0.4)
+        elif kind == "run":
+            sim.run(until=sim.now + arg)
+    topology.heal()
+    sim.run(until=sim.now + 1.0)
+
+    # 1. Common relative order everywhere.
+    orders = {n: recorders[n].order() for n in NODES}
+    for a in NODES:
+        for b in NODES:
+            if a >= b:
+                continue
+            set_b = set(orders[b])
+            common_in_a = [m for m in orders[a] if m in set_b]
+            set_a = set(orders[a])
+            common_in_b = [m for m in orders[b] if m in set_a]
+            assert common_in_a == common_in_b, (a, b)
+
+    # 2. Safe delivery: delivered-in-regular at one member => delivered
+    #    (somehow) at every member of that regular configuration.
+    view_members = {}
+    for node in NODES:
+        for conf in recorders[node].views:
+            view_members[conf.view_id] = conf.members
+    for node in NODES:
+        for payload, view_id, in_transitional in \
+                recorders[node].deliveries:
+            if in_transitional or view_id is None:
+                continue
+            for member in view_members[view_id]:
+                delivered = set(recorders[member].order())
+                assert payload in delivered, (
+                    f"{payload} safe-delivered in regular conf "
+                    f"{view_id} at {node} but missing at {member}")
+
+    # 3. Virtual synchrony: same old view + same new view => identical
+    #    delivered sets in the old view.
+    transitions = {}
+    for node in NODES:
+        views = recorders[node].views
+        for previous, following in zip(views, views[1:]):
+            key = (previous.view_id, following.view_id)
+            delivered = frozenset(
+                recorders[node].view_sets.get(previous.view_id, set()))
+            transitions.setdefault(key, {})[node] = delivered
+    for key, per_node in transitions.items():
+        sets = set(per_node.values())
+        assert len(sets) == 1, (
+            f"virtual synchrony violated across {key}: {per_node}")
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10000))
+def test_final_views_converge_after_heal(seed):
+    """Whatever the interleaving, after healing every daemon ends in
+    one shared view containing everyone."""
+    sim, topology, daemons, recorders = build(seed=seed % 7)
+    rng = RandomStreams(seed).stream("schedule")
+    for _ in range(4):
+        groups = [[], []]
+        for node in NODES:
+            groups[rng.randint(0, 1)].append(node)
+        if all(groups):
+            topology.partition(groups)
+        if daemons[1].joined and daemons[1].state == "operational":
+            try:
+                daemons[1].multicast(("x", sim.now))
+            except RuntimeError:
+                pass
+        sim.run(until=sim.now + rng.uniform(0.1, 0.5))
+        topology.heal()
+        sim.run(until=sim.now + 0.5)
+    sim.run(until=sim.now + 1.0)
+    views = {daemons[n].view.view_id for n in NODES}
+    assert len(views) == 1
+    assert daemons[1].view.members == frozenset(NODES)

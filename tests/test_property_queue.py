@@ -1,0 +1,106 @@
+"""Property-based tests of the ActionQueue marking invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ActionQueue, Color
+from repro.db import Action, ActionId
+
+SERVERS = [1, 2, 3]
+
+
+def action(server, index):
+    return Action(action_id=ActionId(server, index))
+
+
+# An operation script: each entry picks a server and an op kind.  The
+# driver turns it into *valid* calls (next index per creator), so the
+# test exercises long interleavings rather than input validation.
+ops = st.lists(st.tuples(st.sampled_from(SERVERS),
+                         st.sampled_from(["red", "green", "green_red",
+                                          "line", "truncate"])),
+               min_size=1, max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_queue_invariants_hold_under_any_interleaving(script):
+    queue = ActionQueue(SERVERS)
+    next_index = {s: 1 for s in SERVERS}
+    greens = []
+    reds = {}
+
+    for server, op in script:
+        if op == "red":
+            act = action(server, next_index[server])
+            next_index[server] += 1
+            assert queue.mark_red(act)
+            reds[act.action_id] = act
+        elif op == "green":
+            act = action(server, next_index[server])
+            next_index[server] += 1
+            queue.mark_green(act)
+            reds.pop(act.action_id, None)
+            greens.append(act.action_id)
+        elif op == "green_red":
+            # Promote the oldest red of this server, if FIFO allows
+            # (i.e. it is the server's lowest-index red action).
+            candidates = queue.red_actions_of(server)
+            if candidates:
+                act = candidates[0]
+                queue.mark_green(act)
+                reds.pop(act.action_id, None)
+                greens.append(act.action_id)
+        elif op == "line":
+            queue.set_green_line(server, queue.green_count)
+        elif op == "truncate":
+            queue.truncate_white()
+
+        # --- invariants ------------------------------------------------
+        # 1. Green count equals greens issued.
+        assert queue.green_count == len(greens)
+        # 2. Surviving green positions match issue order.
+        for position, action_id in enumerate(greens):
+            got = queue.green_position(action_id)
+            if position >= queue.green_offset:
+                assert got == position
+            else:
+                assert got is None  # truncated white
+        # 3. Reds are exactly the not-yet-promoted accepted actions.
+        assert {a.action_id for a in queue.red_actions()} == set(reds)
+        # 4. The red cut covers every known action contiguously.
+        for s in SERVERS:
+            assert queue.red_cut[s] == next_index[s] - 1 or \
+                queue.red_cut[s] <= next_index[s] - 1
+        # 5. White line never exceeds any green line.
+        assert queue.white_line <= min(queue.green_lines.values())
+        # 6. Truncation never cuts beyond the white line.
+        assert queue.green_offset <= queue.white_line or \
+            queue.green_offset <= queue.green_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(SERVERS), min_size=1, max_size=60))
+def test_interleaved_greens_keep_per_creator_fifo(order):
+    queue = ActionQueue(SERVERS)
+    next_index = {s: 1 for s in SERVERS}
+    for server in order:
+        queue.mark_green(action(server, next_index[server]))
+        next_index[server] += 1
+    # Per creator, green positions are increasing in action index.
+    for server in SERVERS:
+        positions = [queue.green_position(ActionId(server, i))
+                     for i in range(1, next_index[server])]
+        assert positions == sorted(positions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+                max_size=30))
+def test_out_of_order_reds_rejected(indices):
+    queue = ActionQueue([1])
+    expected_cut = 0
+    for index in indices:
+        accepted = queue.mark_red(action(1, index))
+        assert accepted == (index == expected_cut + 1)
+        if accepted:
+            expected_cut = index

@@ -1,0 +1,104 @@
+"""Property-based tests of the Section 6 relaxed-semantics building
+blocks: order-insensitivity of LWW, commutativity of INC, and the
+dirty view as a pure function of (green state, red suffix)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Action, ActionId, Database, DirtyView
+from repro.db.sql import execute_update
+from repro.semantics.service import _certify, _lww_set
+
+keys = st.sampled_from(["a", "b", "c"])
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(keys, st.text(max_size=3),
+                          st.integers(0, 100)),
+                min_size=1, max_size=20),
+       st.randoms(use_true_random=False))
+def test_lww_is_order_insensitive(writes, rng):
+    """Applying the same timestamped writes in any two orders yields
+    the same final registers — the property that lets timestamp
+    updates skip global ordering (Section 6)."""
+    shuffled = list(writes)
+    rng.shuffle(shuffled)
+    state_a, state_b = {}, {}
+    for key, value, ts in writes:
+        _lww_set(state_a, (key, value, ts))
+    for key, value, ts in shuffled:
+        _lww_set(state_b, (key, value, ts))
+    # Ties on timestamps: last writer wins per order, so compare only
+    # when timestamps are unique per key.
+    per_key = {}
+    unique = True
+    for key, _value, ts in writes:
+        if ts in per_key.setdefault(key, set()):
+            unique = False
+        per_key[key].add(ts)
+    if unique:
+        assert state_a == state_b
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(keys, st.integers(-20, 20)), min_size=1,
+                max_size=20),
+       st.randoms(use_true_random=False))
+def test_inc_is_order_insensitive(increments, rng):
+    shuffled = list(increments)
+    rng.shuffle(shuffled)
+    state_a, state_b = {}, {}
+    for key, delta in increments:
+        execute_update(state_a, ("INC", key, delta))
+    for key, delta in shuffled:
+        execute_update(state_b, ("INC", key, delta))
+    assert state_a == state_b
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(keys, st.integers(0, 5), max_size=3),
+       st.lists(st.tuples(keys, st.integers(0, 5)), max_size=6))
+def test_certify_applies_iff_read_set_matches(initial, updates):
+    state = dict(initial)
+    read_set = tuple(sorted(initial.items()))
+    applied = _certify(state, (read_set, tuple(updates)))
+    assert applied  # read set taken from the very state: must commit
+    final = {}
+    for key, value in updates:
+        final[key] = value  # duplicate keys: last write wins
+    for key, value in final.items():
+        assert state[key] == value
+    # Now perturb one read value: certification must refuse and leave
+    # the state untouched.
+    if read_set:
+        state2 = dict(initial)
+        key0, value0 = read_set[0]
+        bad = ((key0, value0 + 1),) + read_set[1:]
+        untouched = dict(state2)
+        assert not _certify(state2, (bad, tuple(updates)))
+        assert state2 == untouched
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(keys, st.integers(0, 9)), max_size=8),
+       st.lists(st.tuples(keys, st.integers(10, 19)), max_size=8))
+def test_dirty_view_is_green_plus_suffix(green_writes, red_writes):
+    database = Database()
+    for i, (key, value) in enumerate(green_writes, start=1):
+        database.apply(Action(action_id=ActionId(1, i),
+                              update=("SET", key, value)))
+    pending = [Action(action_id=ActionId(2, i),
+                      update=("SET", key, value))
+               for i, (key, value) in enumerate(red_writes, start=1)]
+    view = DirtyView(database)
+    expected = dict(database.state)
+    for key, value in red_writes:
+        expected[key] = value
+    for key in ("a", "b", "c"):
+        assert view.query(("GET", key), pending) == expected.get(key)
+    # The green database itself is untouched by dirty reads.
+    for i, (key, value) in enumerate(green_writes):
+        pass
+    assert all(database.state.get(k) is not None
+               for k, _v in green_writes)

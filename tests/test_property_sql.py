@@ -1,0 +1,98 @@
+"""Property-based tests of the statement language and snapshots."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import (Database, SnapshotReceiver, SnapshotSender,
+                      execute_statement, execute_update)
+from repro.db.action import Action, ActionId
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=3)
+values = st.one_of(st.integers(-100, 100), st.text(max_size=5),
+                   st.booleans())
+
+statements = st.one_of(
+    st.tuples(st.just("SET"), keys, values),
+    st.tuples(st.just("INC"), keys, st.integers(-10, 10)),
+    st.tuples(st.just("DEL"), keys),
+    st.tuples(st.just("CAS"), keys, values, values),
+)
+
+
+def model_apply(model, stmt):
+    """Reference semantics against a plain dict."""
+    op = stmt[0]
+    if op == "SET":
+        model[stmt[1]] = stmt[2]
+    elif op == "DEL":
+        model.pop(stmt[1], None)
+    elif op == "CAS":
+        if model.get(stmt[1]) == stmt[2]:
+            model[stmt[1]] = stmt[3]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.one_of(
+    st.tuples(st.just("SET"), keys, values),
+    st.tuples(st.just("DEL"), keys),
+    st.tuples(st.just("CAS"), keys, values, values)),
+    max_size=40))
+def test_statements_match_reference_model(script):
+    state = {}
+    model = {}
+    for stmt in script:
+        execute_statement(state, stmt)
+        model_apply(model, stmt)
+    assert state == model
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.just("INC"), keys,
+                          st.integers(-10, 10)), max_size=30))
+def test_inc_sequences_sum(script):
+    state = {}
+    totals = {}
+    for stmt in script:
+        execute_statement(state, stmt)
+        totals[stmt[1]] = totals.get(stmt[1], 0) + stmt[2]
+    assert state == {k: v for k, v in totals.items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(keys, st.one_of(st.integers(), st.text(max_size=5)),
+                       max_size=30),
+       st.integers(min_value=1, max_value=7))
+def test_snapshot_transfer_roundtrip_any_state(state, chunk_items):
+    db = Database()
+    index = 0
+    for key, value in sorted(state.items()):
+        index += 1
+        db.apply(Action(action_id=ActionId(1, index),
+                        update=("SET", key, value)))
+    snapshot = db.snapshot()
+    sender = SnapshotSender("t", snapshot, chunk_items=chunk_items)
+    receiver = SnapshotReceiver()
+    receiver.begin("t", sender.header)
+    # Deliver chunks in reverse order: reassembly must not care.
+    for seq in reversed(range(sender.total)):
+        receiver.accept(sender.chunk(seq))
+    assembled = receiver.assemble()
+    restored = Database()
+    restored.restore(assembled)
+    assert restored.state == db.state
+    assert restored.digest() == db.digest()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(statements, max_size=25))
+def test_apply_is_deterministic(script):
+    """Two databases applying the same actions agree exactly."""
+    a, b = Database(), Database()
+    for index, stmt in enumerate(script, start=1):
+        action = Action(action_id=ActionId(1, index), update=stmt)
+        a.apply(action)
+        b.apply(action)
+    assert a.state == b.state
+    assert a.digest() == b.digest()
+    assert a.applied_log == b.applied_log

@@ -1,0 +1,159 @@
+"""Regression tests for protocol bugs found by the soak/property suites.
+
+Each test distills one failure mode to its minimal scenario:
+
+1. availability deadlock: a departed server kept counting toward the
+   dynamic-linear-voting majority of the last primary component;
+2. stranded in-flight actions: an action multicast into a dying view
+   and re-delivered between the exchange and the CPC round was dropped
+   at every member, never completing;
+3. red-set divergence: a recovered server could reject (FIFO gap) an
+   action that other members accepted mid-exchange, installing with a
+   different red set.
+"""
+
+import pytest
+
+from repro.core import EngineState
+
+from conftest import make_cluster
+
+
+class TestRemovalAwareQuorum:
+    def test_leave_ordered_in_subset_unblocks_quorum(self):
+        """Distilled deadlock: {2,3} is primary; 2 leaves and exits;
+        3 alone must retain the primary (majority of {2,3} minus the
+        removed 2 = majority of {3})."""
+        cluster = make_cluster(3)
+        cluster.start_all(settle=1.0)
+        cluster.partition([1], [2, 3])
+        cluster.run_for(1.5)
+        assert sorted(cluster.primary_members()) == [2, 3]
+        cluster.replicas[2].leave()
+        cluster.run_for(2.0)
+        assert cluster.replicas[2].engine.exited
+        assert cluster.primary_members() == [3]
+        client = cluster.client(3)
+        client.submit(("SET", "alone", 1))
+        cluster.run_for(1.0)
+        assert client.completed == 1
+
+    def test_removal_knowledge_spreads_on_merge(self):
+        cluster = make_cluster(3)
+        cluster.start_all(settle=1.0)
+        cluster.partition([1], [2, 3])
+        cluster.run_for(1.5)
+        cluster.replicas[2].leave()
+        cluster.run_for(2.0)
+        # Node 1 does not know about the removal yet.
+        assert 2 not in cluster.replicas[1].engine.removed_servers
+        cluster.heal()
+        cluster.run_for(3.0)
+        assert 2 in cluster.replicas[1].engine.removed_servers
+        assert sorted(cluster.primary_members()) == [1, 3]
+        cluster.assert_converged()
+
+    def test_removal_survives_crash_recovery(self):
+        cluster = make_cluster(3)
+        cluster.start_all(settle=1.0)
+        cluster.replicas[3].leave()
+        cluster.run_for(2.0)
+        cluster.crash(1)
+        cluster.run_for(0.5)
+        cluster.recover(1)
+        cluster.run_for(2.5)
+        assert 3 in cluster.replicas[1].engine.removed_servers
+        cluster.assert_converged()
+
+
+class TestInFlightActionsAcrossViewChanges:
+    def test_action_submitted_at_view_change_completes(self):
+        """Submit exactly at the instant of a partition: whether the
+        multicast lands in the dying view, the exchange window, or the
+        construct window, the client must eventually complete."""
+        for offset in (0.0, 0.002, 0.01, 0.05, 0.12):
+            cluster = make_cluster(3, seed=31)
+            cluster.start_all(settle=1.0)
+            client = cluster.client(2)
+            cluster.partition([1], [2, 3])
+            cluster.run_for(offset)
+            client.submit(("SET", "in-flight", offset))
+            cluster.run_for(3.0)
+            assert client.completed == 1, f"lost at offset {offset}"
+            cluster.heal()
+            cluster.run_for(3.0)
+            cluster.assert_converged()
+
+    def test_continuous_load_across_repeated_view_changes(self):
+        cluster = make_cluster(3, seed=37)
+        cluster.start_all(settle=1.0)
+        client = cluster.client(1)
+        busy = [True]
+
+        def again(_a=None, _p=None, _r=None):
+            if busy[0]:
+                client.submit(("INC", "n", 1), on_complete=again)
+        again()
+        for _ in range(4):
+            cluster.partition([1, 2], [3])
+            cluster.run_for(0.7)
+            cluster.heal()
+            cluster.run_for(0.7)
+        busy[0] = False
+        cluster.run_for(3.0)
+        cluster.assert_converged()
+        # No stranded actions: everything completed got applied, and
+        # the pump never stalled for a whole fault cycle.
+        assert client.completed > 50
+        assert cluster.replicas[3].database.state["n"] >= client.completed
+
+
+class TestRecoveredNodeFifoGaps:
+    def test_recovered_node_accepts_live_traffic_mid_exchange(self):
+        """A recovered node's red cut lags the cluster; live actions
+        re-delivered during its catch-up exchange must be parked and
+        drained, not dropped — else its red set diverges at install."""
+        cluster = make_cluster(3, seed=41)
+        cluster.start_all(settle=1.0)
+        client = cluster.client(1)
+        busy = [True]
+
+        def again(_a=None, _p=None, _r=None):
+            if busy[0]:
+                client.submit(("INC", "n", 1), on_complete=again)
+        again()
+        cluster.run_for(1.0)
+        cluster.crash(3)
+        cluster.run_for(1.0)     # cluster moves on without 3
+        cluster.recover(3)
+        cluster.run_for(3.0)     # catch-up exchange under live load
+        busy[0] = False
+        cluster.run_for(2.0)
+        cluster.assert_converged()
+        assert cluster.replicas[3].engine.state is EngineState.REG_PRIM
+
+
+class TestProcedureDurability:
+    def test_recovered_replica_keeps_registered_procedures(self):
+        """Regression: a recovered replica's fresh database silently
+        no-opped CALL actions because procedure registrations were
+        lost — identical actions then produced different states."""
+        cluster = make_cluster(3)
+        cluster.start_all(settle=1.0)
+
+        def bump(state, _args):
+            state["c"] = state.get("c", 0) + 1
+            return state["c"]
+
+        for replica in cluster.replicas.values():
+            replica.register_procedure("bump", bump)
+        cluster.replicas[1].submit(("CALL", "bump", None))
+        cluster.run_for(1.5)
+        cluster.crash(2)
+        cluster.run_for(0.5)
+        cluster.recover(2)
+        cluster.run_for(2.0)
+        cluster.replicas[1].submit(("CALL", "bump", None))
+        cluster.run_for(1.5)
+        cluster.assert_converged()
+        assert cluster.replicas[2].database.state["c"] == 2

@@ -1,0 +1,114 @@
+"""Exactly-once client sessions with replica failover."""
+
+import pytest
+
+from repro.semantics import SessionClient
+from repro.semantics.session import SESSION_PREFIX
+
+from conftest import make_cluster
+
+
+@pytest.fixture
+def cluster():
+    c = make_cluster(3)
+    c.start_all(settle=1.0)
+    return c
+
+
+def session_for(cluster, retry=0.5):
+    replicas = [cluster.replicas[n] for n in sorted(cluster.replicas)]
+    return SessionClient(replicas, retry_interval=retry)
+
+
+class TestExactlyOnce:
+    def test_simple_submit_applies_once(self, cluster):
+        client = session_for(cluster)
+        results = []
+        client.submit(("INC", "n", 1), on_applied=results.append)
+        cluster.run_for(1.0)
+        assert results == [[1]]
+        assert client.applied == 1
+        assert client.duplicates_suppressed == 0
+        assert cluster.replicas[2].database.state["n"] == 1
+
+    def test_sequence_recorded_in_replicated_state(self, cluster):
+        client = session_for(cluster)
+        for _ in range(3):
+            client.submit(("INC", "n", 1))
+        cluster.run_for(1.5)
+        cluster.assert_converged()
+        for replica in cluster.replicas.values():
+            assert client.confirmed_seq_at(replica) == 3
+
+    def test_retry_does_not_double_apply(self, cluster):
+        """Force a retry by keeping the first submission red (its
+        replica is partitioned): the re-submission through another
+        replica applies; when the original finally orders, the guard
+        suppresses it."""
+        client = session_for(cluster, retry=0.8)
+        cluster.partition([1], [2, 3])
+        cluster.run_for(1.5)
+        # Attached to replica 1 (minority): the action goes red.
+        client.submit(("INC", "n", 1))
+        cluster.run_for(2.0)   # retry fires -> rotates to 2 -> applies
+        assert cluster.replicas[2].database.state["n"] == 1
+        cluster.heal()
+        cluster.run_for(3.0)   # replica 1's red copy gets ordered too
+        cluster.assert_converged()
+        # Exactly once, despite two orderings of the same sequence.
+        assert cluster.replicas[1].database.state["n"] == 1
+        assert client.applied == 1
+
+    def test_failover_on_crashed_replica(self, cluster):
+        client = session_for(cluster, retry=0.5)
+        cluster.crash(1)
+        cluster.run_for(1.0)
+        results = []
+        client.submit(("SET", "k", "survived"), on_applied=results.append)
+        cluster.run_for(3.0)
+        assert results == [["survived"]]
+        assert client.failovers >= 1
+        assert cluster.replicas[2].database.state["k"] == "survived"
+
+    def test_many_updates_under_churn_apply_exactly_once(self, cluster):
+        client = session_for(cluster, retry=0.4)
+        done = []
+        total = 15
+
+        def pump(_result=None):
+            if len(done) < total:
+                done.append(1)
+                client.submit(("INC", "n", 1), on_applied=pump)
+
+        pump()
+        cluster.run_for(1.0)
+        cluster.partition([1], [2, 3])
+        cluster.run_for(1.5)
+        cluster.heal()
+        cluster.run_for(1.5)
+        cluster.crash(2)
+        cluster.run_for(1.5)
+        cluster.recover(2)
+        cluster.run_for(4.0)
+        cluster.assert_converged()
+        state = cluster.replicas[3].database.state
+        # The counter equals the number of distinct sequences applied —
+        # no duplicates regardless of retries and failovers.
+        assert state["n"] == client.applied
+        assert client.applied >= total - 1
+
+    def test_sessions_are_independent(self, cluster):
+        alice = session_for(cluster)
+        bob = session_for(cluster)
+        alice.submit(("INC", "n", 1))
+        bob.submit(("INC", "n", 10))
+        cluster.run_for(1.0)
+        assert cluster.replicas[1].database.state["n"] == 11
+        assert cluster.replicas[1].database.state[
+            SESSION_PREFIX + alice.session] == 1
+        assert cluster.replicas[1].database.state[
+            SESSION_PREFIX + bob.session] == 1
+
+    def test_needs_at_least_one_replica(self):
+        with pytest.raises(ValueError):
+            SessionClient([])

@@ -1,0 +1,131 @@
+"""Unit tests for timers, actors, and the CPU service queue."""
+
+import pytest
+
+from repro.sim import Actor, ServiceQueue, Simulator, Timer
+
+
+class TestTimer:
+    def test_one_shot_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), 1.0)
+        timer.start()
+        sim.run()
+        assert fired == [1.0]
+
+    def test_not_armed_until_started(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1), 1.0)
+        assert not timer.armed
+        sim.run()
+        assert fired == []
+
+    def test_restart_replaces_pending(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), 1.0)
+        timer.start()
+        sim.run(until=0.5)
+        timer.restart()
+        sim.run()
+        assert fired == [1.5]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1), 1.0)
+        timer.start()
+        timer.stop()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), 1.0,
+                      periodic=True)
+        timer.start()
+        sim.run(until=3.5)
+        timer.stop()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_start_with_new_interval(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), 1.0)
+        timer.start(interval=0.25)
+        sim.run()
+        assert fired == [0.25]
+
+    def test_negative_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timer(sim, lambda: None, -1.0)
+
+
+class TestActor:
+    def test_make_timer_and_cancel_all(self):
+        sim = Simulator()
+        actor = Actor(sim, "a")
+        fired = []
+        actor.make_timer("t1", lambda: fired.append(1), 1.0).start()
+        actor.make_timer("t2", lambda: fired.append(2), 2.0).start()
+        actor.cancel_all()
+        sim.run()
+        assert fired == []
+
+    def test_timer_lookup(self):
+        sim = Simulator()
+        actor = Actor(sim)
+        timer = actor.make_timer("x", lambda: None, 1.0)
+        assert actor.timer("x") is timer
+
+    def test_after_schedules_raw_callback(self):
+        sim = Simulator()
+        actor = Actor(sim)
+        fired = []
+        actor.after(0.5, fired.append, "v")
+        sim.run()
+        assert fired == ["v"]
+
+
+class TestServiceQueue:
+    def test_take_when_idle(self):
+        sim = Simulator()
+        cpu = ServiceQueue(sim)
+        assert cpu.take(0.1) == pytest.approx(0.1)
+
+    def test_take_queues_fifo(self):
+        sim = Simulator()
+        cpu = ServiceQueue(sim)
+        assert cpu.take(0.1) == pytest.approx(0.1)
+        assert cpu.take(0.1) == pytest.approx(0.2)
+        assert cpu.backlog == pytest.approx(0.2)
+
+    def test_idle_gap_not_accumulated(self):
+        sim = Simulator()
+        cpu = ServiceQueue(sim)
+        cpu.take(0.1)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert cpu.take(0.1) == pytest.approx(1.1)
+
+    def test_reset(self):
+        sim = Simulator()
+        cpu = ServiceQueue(sim)
+        cpu.take(5.0)
+        cpu.reset()
+        assert cpu.backlog == 0.0
+        assert cpu.take(0.1) == pytest.approx(0.1)
+
+    def test_saturation_rate(self):
+        """N jobs of cost c complete in exactly N*c seconds."""
+        sim = Simulator()
+        cpu = ServiceQueue(sim)
+        last = 0.0
+        for _ in range(100):
+            last = cpu.take(0.01)
+        assert last == pytest.approx(1.0)

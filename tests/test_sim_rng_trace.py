@@ -1,0 +1,71 @@
+"""Unit tests for randomness streams and structured tracing."""
+
+from repro.sim import RandomStreams, Tracer
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(42).stream("net")
+        b = RandomStreams(42).stream("net")
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("net")
+        b = RandomStreams(2).stream("net")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        net = streams.stream("net")
+        first = net.random()
+        # Consuming another stream must not perturb this one.
+        streams2 = RandomStreams(7)
+        streams2.stream("workload").random()
+        assert streams2.stream("net").random() == first
+
+    def test_stream_identity_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+        assert "x" in streams
+        assert "y" not in streams
+
+
+class TestTracer:
+    def test_emit_and_select(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 1, "cat.a", k=1)
+        tracer.emit(2.0, 2, "cat.b", k=2)
+        tracer.emit(3.0, 1, "cat.a", k=3)
+        assert tracer.count("cat.a") == 2
+        assert len(list(tracer.select("cat.a"))) == 2
+        assert len(list(tracer.select("cat.a", node=1))) == 2
+        assert len(list(tracer.select(node=2))) == 1
+
+    def test_disabled_tracer_drops_records(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, 1, "cat")
+        assert tracer.records == []
+        assert tracer.count("cat") == 0
+
+    def test_counting_without_keeping(self):
+        tracer = Tracer(keep=False)
+        tracer.emit(1.0, 1, "cat")
+        assert tracer.records == []
+        assert tracer.count("cat") == 1
+
+    def test_subscribers_invoked(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(1.0, 1, "cat", value=9)
+        assert len(seen) == 1
+        assert seen[0].detail["value"] == 9
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 1, "cat")
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.count("cat") == 0

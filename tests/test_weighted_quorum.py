@@ -1,0 +1,53 @@
+"""Weighted dynamic linear voting on a live cluster.
+
+The paper: "the component that contains a (weighted) majority of the
+last primary component becomes the new primary component."  A heavy
+data-center replica can keep the primary on its side of a split.
+"""
+
+import pytest
+
+from repro.core import DynamicLinearVoting, EngineConfig
+
+from conftest import fast_disk_profile, fast_gcs_settings, make_cluster
+
+
+def weighted_cluster(weights):
+    return make_cluster(
+        3, engine_config=EngineConfig(
+            quorum=DynamicLinearVoting(weights=weights)))
+
+
+def test_heavy_replica_keeps_primary_alone():
+    cluster = weighted_cluster({1: 5.0})
+    cluster.start_all(settle=1.0)
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.5)
+    # Node 1 weighs 5 of 7: alone it is still a weighted majority.
+    assert cluster.primary_members() == [1]
+    client = cluster.client(1)
+    client.submit(("SET", "heavy", 1))
+    cluster.run_for(1.0)
+    assert client.completed == 1
+    cluster.assert_single_primary()
+    cluster.heal()
+    cluster.run_for(2.0)
+    cluster.assert_converged()
+
+
+def test_light_majority_cannot_form_primary():
+    cluster = weighted_cluster({1: 5.0})
+    cluster.start_all(settle=1.0)
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.5)
+    # Two of three nodes, but only 2 of 7 weight: not a quorum.
+    states = cluster.states()
+    assert states[2] == "NonPrim" and states[3] == "NonPrim"
+
+
+def test_equal_weights_behave_like_plain_majority():
+    cluster = weighted_cluster({1: 1.0, 2: 1.0, 3: 1.0})
+    cluster.start_all(settle=1.0)
+    cluster.partition([1], [2, 3])
+    cluster.run_for(1.5)
+    assert sorted(cluster.primary_members()) == [2, 3]
