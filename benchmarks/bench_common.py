@@ -12,8 +12,9 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.baselines import CorelSystem, EngineSystem, TwoPCSystem
 from repro.core import EngineConfig
@@ -23,6 +24,9 @@ from repro.storage import DiskProfile
 N_REPLICAS = 14
 CLIENT_COUNTS = [1, 2, 4, 7, 10, 14]
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_WALLCLOCK_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_wallclock.json")
 
 
 def paper_disk() -> DiskProfile:
@@ -55,6 +59,51 @@ def twopc_factory(seed: int = 0):
                            network_profile=lan_profile(),
                            disk_profile=paper_disk())
     return build
+
+
+def record_wallclock(label: str, mode: str,
+                     scenarios: Dict[str, Dict[str, Any]],
+                     path: Optional[str] = None,
+                     timestamp: Optional[float] = None) -> Dict[str, Any]:
+    """Merge one labelled wall-clock measurement into BENCH_wallclock.json.
+
+    The file keeps one entry per label (``baseline``, ``current``, ...);
+    re-recording a label replaces it.  When both a ``baseline`` and a
+    ``current`` entry exist, the fig5a events/sec speedup between them is
+    computed and stored at the top level so the perf trajectory of the
+    sim core is a one-number read.
+    """
+    path = path or BENCH_WALLCLOCK_PATH
+    doc: Dict[str, Any] = {"schema": 1, "entries": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                doc = loaded
+        except (OSError, ValueError):
+            pass
+    doc["schema"] = 1
+    entries = doc.setdefault("entries", {})
+    entry: Dict[str, Any] = {"mode": mode, "scenarios": scenarios}
+    if timestamp is not None:
+        entry["timestamp"] = timestamp
+    entries[label] = entry
+
+    def fig5a_rate(name: str) -> Optional[float]:
+        try:
+            return entries[name]["scenarios"]["fig5a_throughput"][
+                "events_per_sec"]
+        except KeyError:
+            return None
+
+    base, cur = fig5a_rate("baseline"), fig5a_rate("current")
+    if base and cur:
+        doc["fig5a_events_per_sec_speedup"] = round(cur / base, 2)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    return doc
 
 
 def write_report(name: str, lines: List[str]) -> str:

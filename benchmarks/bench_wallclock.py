@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the simulation core.
+
+Every paper figure in this repository is produced by the single-threaded
+discrete-event simulator, so the *wall-clock* speed of the sim core —
+not any simulated-time number — caps how many replicas, clients, and
+seconds of protocol time the test suites can afford.  This harness runs
+two representative scenarios and records how fast the simulator chews
+through them:
+
+* ``fig5a_throughput`` — the engine half of the Figure 5(a) sweep
+  (14 replicas, closed-loop clients at every paper client count), the
+  hottest steady-state workload in the suite;
+* ``membership_cost``  — the Experiment E6 fault schedule (partitions
+  and heals with traffic), which exercises view changes, flush, and
+  recovery paths.
+
+For each scenario it records wall seconds, total events dispatched,
+events/sec, total simulated seconds, and the peak kernel heap size,
+then merges the measurement into ``BENCH_wallclock.json`` at the repo
+root under a label (``--label baseline`` before an optimisation,
+``--label current`` after).  When both labels are present the file also
+carries the fig5a events/sec speedup, giving subsequent PRs a perf
+trajectory to beat.
+
+Wall-clock numbers are machine-dependent; the *simulated-time* results
+are not — ``--check-determinism`` runs a scenario twice and asserts the
+event counts and throughput numbers are identical (same seed ⇒
+bit-identical traces).
+
+Usage::
+
+    python benchmarks/bench_wallclock.py --label baseline   # full run
+    python benchmarks/bench_wallclock.py --smoke            # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+from bench_common import (BENCH_WALLCLOCK_PATH, CLIENT_COUNTS,
+                          engine_factory, record_wallclock)
+from repro.bench import sweep_clients
+from repro.core import ReplicaCluster
+from repro.gcs import GcsSettings
+from repro.storage import DiskProfile
+
+
+def _capturing(factory: Callable[[], Any]) -> Tuple[Callable[[], Any],
+                                                    List[Any]]:
+    """Wrap a system factory so the built systems (and their simulators)
+    stay reachable for post-run event accounting."""
+    systems: List[Any] = []
+
+    def build() -> Any:
+        system = factory()
+        systems.append(system)
+        return system
+
+    return build, systems
+
+
+def _stats(wall: float, sims: List[Any],
+           extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    events = sum(s.events_processed for s in sims)
+    peak = max((getattr(s, "peak_heap", 0) for s in sims), default=0)
+    stats: Dict[str, Any] = {
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "sim_seconds": round(sum(s.now for s in sims), 3),
+        "peak_heap": peak,
+    }
+    if extra:
+        stats.update(extra)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def scenario_fig5a(smoke: bool = False) -> Dict[str, Any]:
+    counts = [1, 4] if smoke else CLIENT_COUNTS
+    duration = 0.5 if smoke else 3.0
+    warmup = 0.2 if smoke else 1.0
+    build, systems = _capturing(engine_factory())
+    start = time.perf_counter()
+    results = sweep_clients(build, counts, duration=duration, warmup=warmup)
+    wall = time.perf_counter() - start
+    return _stats(wall, [s.sim for s in systems], extra={
+        "clients": counts,
+        "throughput": {str(r.clients): r.throughput for r in results},
+    })
+
+
+def scenario_membership(smoke: bool = False) -> Dict[str, Any]:
+    partitions = 1 if smoke else 3
+    actions = 20 if smoke else 60
+    start = time.perf_counter()
+    cluster = ReplicaCluster(
+        n=5, seed=0,
+        gcs_settings=GcsSettings(heartbeat_interval=0.02,
+                                 failure_timeout=0.08,
+                                 gather_settle=0.02, phase_timeout=0.15),
+        disk_profile=DiskProfile(forced_write_latency=0.001))
+    cluster.start_all(settle=1.5)
+    client = cluster.client(1)
+    for _ in range(actions):
+        client.submit(("INC", "n", 1))
+    cluster.run_for(2.0)
+    for _ in range(partitions):
+        cluster.partition([1, 2, 3], [4, 5])
+        cluster.run_for(1.0)
+        cluster.heal()
+        cluster.run_for(1.0)
+    cluster.assert_converged()
+    wall = time.perf_counter() - start
+    return _stats(wall, [cluster.sim], extra={
+        "partitions": partitions, "actions": actions,
+    })
+
+
+SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
+    "fig5a_throughput": scenario_fig5a,
+    "membership_cost": scenario_membership,
+}
+
+
+# ----------------------------------------------------------------------
+# determinism gate
+# ----------------------------------------------------------------------
+def check_determinism() -> None:
+    """Same seed ⇒ identical simulated-time results, run to run."""
+    runs = []
+    for _ in range(2):
+        build, systems = _capturing(engine_factory())
+        results = sweep_clients(build, [1, 4], duration=0.5, warmup=0.2)
+        runs.append((
+            tuple((r.clients, r.throughput, r.mean_latency)
+                  for r in results),
+            tuple(s.sim.events_processed for s in systems),
+            tuple(s.sim.now for s in systems),
+        ))
+    if runs[0] != runs[1]:
+        raise SystemExit(f"DETERMINISM VIOLATION:\n  run 1: {runs[0]}"
+                         f"\n  run 2: {runs[1]}")
+    print("determinism check: OK (two runs bit-identical)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock perf harness for the simulation core")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced scenarios for CI smoke testing")
+    parser.add_argument("--label", default="current",
+                        help="entry label in BENCH_wallclock.json "
+                             "(baseline | current | ...)")
+    parser.add_argument("--output", default=BENCH_WALLCLOCK_PATH,
+                        help="path of the JSON trajectory file")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
+                        help="run a single scenario instead of all")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each scenario N times, record the "
+                             "fastest wall clock (the usual way to damp "
+                             "scheduler noise and cold-cache effects); "
+                             "simulated-time numbers must be identical "
+                             "across repeats, so this doubles as a "
+                             "determinism check")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the determinism gate as well")
+    args = parser.parse_args(argv)
+
+    if args.check_determinism:
+        check_determinism()
+
+    names = [args.scenario] if args.scenario else list(SCENARIOS)
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        print(f"running {name} ({'smoke' if args.smoke else 'full'}"
+              f"{f', best of {args.repeat}' if args.repeat > 1 else ''})"
+              " ...", flush=True)
+        stats = SCENARIOS[name](args.smoke)
+        for _ in range(args.repeat - 1):
+            again = SCENARIOS[name](args.smoke)
+            if again["events"] != stats["events"] \
+                    or again["sim_seconds"] != stats["sim_seconds"]:
+                raise SystemExit(
+                    f"DETERMINISM VIOLATION in {name}: repeats disagree "
+                    f"on simulated results ({stats['events']} events / "
+                    f"{stats['sim_seconds']}s vs {again['events']} / "
+                    f"{again['sim_seconds']}s)")
+            if again["wall_seconds"] < stats["wall_seconds"]:
+                stats = again
+        scenarios[name] = stats
+        print(f"  {name}: {stats['wall_seconds']}s wall, "
+              f"{stats['events']} events, "
+              f"{stats['events_per_sec']:.0f} events/sec, "
+              f"peak heap {stats['peak_heap']}")
+
+    mode = "smoke" if args.smoke else "full"
+    doc = record_wallclock(args.label, mode, scenarios, path=args.output,
+                           timestamp=time.time())
+    speedup = doc.get("fig5a_events_per_sec_speedup")
+    if speedup is not None:
+        print(f"fig5a events/sec speedup vs baseline: {speedup}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

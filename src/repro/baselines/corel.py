@@ -129,7 +129,7 @@ class CorelReplica(GcsListener):
             ready = self.cpu.take(self.system.apply_cpu)
             completion = self.pending_complete.pop(action.txn_id, None)
             if completion is not None:
-                self.sim.schedule_at(ready, completion)
+                self.sim.post_at(ready, completion)
 
 
 class CorelSystem(ReplicationSystemAPI):

@@ -141,8 +141,8 @@ class TwoPCReplica(Actor):
 
     def _commit_done(self, coord: _Coordinator) -> None:
         self._apply(coord.txn_id)
-        self.sim.schedule_at(self.cpu.take(self.system.apply_cpu),
-                             coord.on_complete)
+        self.sim.post_at(self.cpu.take(self.system.apply_cpu),
+                         coord.on_complete)
         commit = Commit(coord.txn_id)
         for participant in sorted(coord.participants):
             self.system.network.send(self.node, participant, commit, 64)

@@ -35,9 +35,13 @@ class ActionQueue:
         self._green: List[Action] = []
         self.green_offset = 0
         self._green_pos: Dict[ActionId, int] = {}
-        # red region: local delivery order
-        self._red: List[Action] = []
-        self._red_set: Dict[ActionId, Action] = {}
+        # red region: insertion-ordered dict = local delivery order.
+        # A parallel per-creator index makes red_actions_of and the
+        # remove_server purge O(k) in the creator's actions instead of
+        # O(n) in all red actions; red_cut contiguity guarantees each
+        # bucket's insertion order is index order, so neither ever sorts.
+        self._red: Dict[ActionId, Action] = {}
+        self._red_by_creator: Dict[int, Dict[ActionId, Action]] = {}
         # cuts
         self.red_cut: Dict[int, int] = {s: 0 for s in server_ids}
         self.green_lines: Dict[int, int] = {s: 0 for s in server_ids}
@@ -61,8 +65,10 @@ class ActionQueue:
         """
         self.red_cut.pop(server_id, None)
         self.green_lines.pop(server_id, None)
-        for action in [a for a in self._red if a.server_id == server_id]:
-            self._remove_red(action.action_id)
+        bucket = self._red_by_creator.pop(server_id, None)
+        if bucket:
+            for action_id in bucket:
+                del self._red[action_id]
 
     @property
     def servers(self) -> List[int]:
@@ -81,7 +87,7 @@ class ActionQueue:
         truncated green positions below the white line."""
         if action_id in self._green_pos:
             return Color.GREEN
-        if action_id in self._red_set:
+        if action_id in self._red:
             return Color.RED
         return None
 
@@ -107,16 +113,17 @@ class ActionQueue:
 
     def red_actions(self) -> List[Action]:
         """Red actions in local order."""
-        return list(self._red)
+        return list(self._red.values())
 
     def red_actions_of(self, creator: int) -> List[Action]:
         """Red actions created by ``creator``, in index order."""
-        return sorted((a for a in self._red if a.server_id == creator),
-                      key=lambda a: a.action_id.index)
+        bucket = self._red_by_creator.get(creator)
+        return list(bucket.values()) if bucket else []
 
     def find(self, action_id: ActionId) -> Optional[Action]:
-        if action_id in self._red_set:
-            return self._red_set[action_id]
+        action = self._red.get(action_id)
+        if action is not None:
+            return action
         pos = self._green_pos.get(action_id)
         if pos is not None and pos >= self.green_offset:
             return self._green[pos - self.green_offset]
@@ -138,8 +145,11 @@ class ActionQueue:
         if self.red_cut[creator] != action.action_id.index - 1:
             return False
         self.red_cut[creator] = action.action_id.index
-        self._red.append(action)
-        self._red_set[action.action_id] = action
+        self._red[action.action_id] = action
+        bucket = self._red_by_creator.get(creator)
+        if bucket is None:
+            bucket = self._red_by_creator[creator] = {}
+        bucket[action.action_id] = action
         return True
 
     def mark_green(self, action: Action) -> bool:
@@ -151,7 +161,7 @@ class ActionQueue:
         self.mark_red(action)
         if action.action_id in self._green_pos:
             return False
-        if action.action_id not in self._red_set:
+        if action.action_id not in self._red:
             if self.knows(action.action_id):
                 # Covered by the red cut but held neither red nor
                 # green: a duplicate of an action subsumed by a
@@ -169,11 +179,11 @@ class ActionQueue:
         return True
 
     def _remove_red(self, action_id: ActionId) -> None:
-        del self._red_set[action_id]
-        for i, act in enumerate(self._red):
-            if act.action_id == action_id:
-                del self._red[i]
-                break
+        del self._red[action_id]
+        bucket = self._red_by_creator[action_id.server_id]
+        del bucket[action_id]
+        if not bucket:
+            del self._red_by_creator[action_id.server_id]
 
     # ------------------------------------------------------------------
     # green lines / white line

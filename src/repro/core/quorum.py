@@ -45,10 +45,24 @@ class DynamicLinearVoting(QuorumPolicy):
             # No primary was ever installed: fall back to a majority of
             # the full known replica set (start-up bootstrap).
             prim = set(all_servers)
+        connected_set = set(connected)
         present = sum(self._weight(s) for s in prim
-                      if s in set(connected))
+                      if s in connected_set)
         total = sum(self._weight(s) for s in prim)
-        return present * 2 > total
+        if present * 2 > total:
+            return True
+        if present * 2 == total:
+            # The "linear" part of dynamic-linear voting [Jajodia &
+            # Mutchler 90]: an exact half of the votes suffices for the
+            # side holding the distinguished (lowest-id) member of the
+            # last primary component.  At most one component can, so
+            # mutual exclusion of primaries is preserved — and an
+            # even-sized last primary cannot deadlock the whole system
+            # when the other half never reconnects (e.g. it left
+            # voluntarily and its PERSISTENT_LEAVE went green only at
+            # the leaver before it exited).
+            return min(prim) in connected_set
+        return False
 
     def describe(self) -> str:
         return "dynamic-linear-voting"

@@ -72,8 +72,9 @@ def recover_engine(engine: ReplicationEngine) -> None:
         position += 1
     engine.queue.set_green_line(engine.server_id, engine.queue.green_count)
     if servers:
+        persisted = set(servers)
         for extra in [s for s in engine.queue.servers
-                      if s not in set(servers)]:
+                      if s not in persisted]:
             engine.queue.remove_server(extra)
 
     # 2. red actions snapshot from the last exchange, then A.13 proper

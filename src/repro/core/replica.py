@@ -204,8 +204,8 @@ class Replica:
         if action.server_id == self.node:
             completion = self._pending.pop(action.action_id, None)
         if completion is not None or self._green_listeners:
-            self.sim.schedule_at(ready, self._notify_green, action,
-                                 position, result, completion)
+            self.sim.post_at(ready, self._notify_green, action,
+                             position, result, completion)
 
     def _notify_green(self, action: Action, position: int, result: Any,
                       completion: Optional[Completion]) -> None:

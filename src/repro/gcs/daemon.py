@@ -135,6 +135,26 @@ class GcsDaemon(Actor):
         self.deliveries = 0
         self.views_installed = 0
 
+        # O(1) payload dispatch (bound methods, keyed by exact type) —
+        # replaces a linear isinstance chain on the hottest receive path
+        self._dispatch: Dict[type, Callable[[Any], None]] = {
+            DataMsg: self._on_data,
+            TokenMsg: self._on_token,
+            StampMsg: self._on_stamps,
+            AckMsg: self._on_ack,
+            HeartbeatMsg: self._on_heartbeat,
+            NackMsg: self._on_nack,
+            RetransDataMsg: self._on_retrans,
+            GatherMsg: self._on_gather,
+            ProposeMsg: self._on_propose,
+            StateReportMsg: self._on_report,
+            FlushPlanMsg: self._on_plan,
+            FlushRetransCmd: self._on_retrans_cmd,
+            FlushDoneMsg: self._on_flush_done,
+            InstallMsg: self._on_install,
+            LeaveMsg: self._on_leave,
+        }
+
     # ==================================================================
     # lifecycle
     # ==================================================================
@@ -218,36 +238,9 @@ class GcsDaemon(Actor):
             return
         payload = datagram.payload
         self._last_heard[datagram.src] = self.sim.now
-        if isinstance(payload, DataMsg):
-            self._on_data(payload)
-        elif isinstance(payload, TokenMsg):
-            self._on_token(payload)
-        elif isinstance(payload, StampMsg):
-            self._on_stamps(payload)
-        elif isinstance(payload, AckMsg):
-            self._on_ack(payload)
-        elif isinstance(payload, HeartbeatMsg):
-            self._on_heartbeat(payload)
-        elif isinstance(payload, NackMsg):
-            self._on_nack(payload)
-        elif isinstance(payload, RetransDataMsg):
-            self._on_retrans(payload)
-        elif isinstance(payload, GatherMsg):
-            self._on_gather(payload)
-        elif isinstance(payload, ProposeMsg):
-            self._on_propose(payload)
-        elif isinstance(payload, StateReportMsg):
-            self._on_report(payload)
-        elif isinstance(payload, FlushPlanMsg):
-            self._on_plan(payload)
-        elif isinstance(payload, FlushRetransCmd):
-            self._on_retrans_cmd(payload)
-        elif isinstance(payload, FlushDoneMsg):
-            self._on_flush_done(payload)
-        elif isinstance(payload, InstallMsg):
-            self._on_install(payload)
-        elif isinstance(payload, LeaveMsg):
-            self._on_leave(payload)
+        handler = self._dispatch.get(payload.__class__)
+        if handler is not None:
+            handler(payload)
         elif self.extra_dispatch is not None:
             self.extra_dispatch(datagram)
 
@@ -276,11 +269,23 @@ class GcsDaemon(Actor):
         self._after_progress()
 
     def _on_ack(self, msg: AckMsg) -> None:
-        if not self._current_view_msg(msg.view_id):
+        ordering = self.ordering
+        if ordering is None or ordering.view_id != msg.view_id:
             return
-        assert self.ordering is not None
-        self.ordering.add_ack(msg.node, msg.ack_seq)
-        self._try_deliver()
+        # Inlined ViewOrdering.add_ack (acks outnumber every other
+        # message kind; keep in sync with the method).  An ack can only
+        # unblock delivery by advancing the stability line; every
+        # data/stamp/retrans ingestion path attempts delivery itself,
+        # so an ack that moved nothing can be dropped without looking
+        # at the queue head.
+        acks = ordering.acks
+        old = acks.get(msg.node)
+        if old is not None and msg.ack_seq > old:
+            acks[msg.node] = msg.ack_seq
+            if old == ordering._stability:
+                ordering._stability = stable = min(acks.values())
+                if stable != old:
+                    self._try_deliver()
 
     def _arm_stamp_timer(self) -> None:
         if self.settings.ordering_mode != "sequencer":
@@ -330,9 +335,15 @@ class GcsDaemon(Actor):
             ordering.prune_stable()
 
     def _try_deliver(self) -> None:
-        if self.state != DaemonState.OPERATIONAL or self.ordering is None:
+        ordering = self.ordering
+        if self.state != DaemonState.OPERATIONAL or ordering is None:
             return
-        for _seq, msg in self.ordering.pop_deliverable():
+        # Inline head probe: most attempts find nothing deliverable,
+        # and this skips the pop_deliverable call entirely.
+        key = ordering.key_at.get(ordering.delivered_seq + 1)
+        if key is None or key not in ordering.data:
+            return
+        for _seq, msg in ordering.pop_deliverable():
             self.deliveries += 1
             self.listener.on_message(msg.payload, msg.origin,
                                      in_transitional=False,
@@ -417,7 +428,7 @@ class GcsDaemon(Actor):
         assert self.ordering is not None
         self._last_token_seen = self.sim.now
         token = TokenMsg(self.ordering.view_id, 0, ())
-        self.sim.schedule(self.settings.token_hold, self._on_token, token)
+        self.sim.post(self.settings.token_hold, self._on_token, token)
 
     def _on_token(self, msg: TokenMsg) -> None:
         if (self.state != DaemonState.OPERATIONAL
@@ -449,7 +460,7 @@ class GcsDaemon(Actor):
         delay = (self.settings.token_hold if active
                  else max(self.settings.token_hold,
                           self.settings.ack_window))
-        self.sim.schedule(delay, self._forward_token, token)
+        self.sim.post(delay, self._forward_token, token)
 
     def _forward_token(self, token: TokenMsg) -> None:
         if (self.state != DaemonState.OPERATIONAL
@@ -459,8 +470,8 @@ class GcsDaemon(Actor):
         ring = sorted(self.ordering.members)
         successor = ring[(ring.index(self.node) + 1) % len(ring)]
         if successor == self.node:
-            self.sim.schedule(self.settings.ack_window, self._on_token,
-                              token)
+            self.sim.post(self.settings.ack_window, self._on_token,
+                          token)
             return
         size = (self.settings.control_size
                 + 16 * len(self.ordering.members))

@@ -31,6 +31,14 @@ from .types import DataMsg, ServiceLevel, StateReportMsg, ViewId
 
 Key = Tuple[int, int]  # (origin, fifo_seq)
 
+# Shared empty result for the (dominant) nothing-deliverable case;
+# callers only iterate over it.
+_NOTHING: List[Tuple[int, DataMsg]] = []
+
+# Hoisted: ``service is _SAFE`` replaces an enum-property call on the
+# delivery hot loop (only SAFE needs stability).
+_SAFE = ServiceLevel.SAFE
+
 
 class ViewOrdering:
     """Ordering/stability bookkeeping for one regular configuration."""
@@ -60,9 +68,19 @@ class ViewOrdering:
         self.ack_seq = -1            # my cumulative contiguous receipt
         self.acks: Dict[int, int] = {m: -1 for m in self.members}
         self.last_acked_sent = -1
+        # cached min(acks.values()); recomputed only when the member
+        # holding the minimum advances, so the per-delivery stability
+        # check is O(1) instead of O(members)
+        self._stability = -1
         # -- delivery ------------------------------------------------------
         self.delivered_seq = -1
         self.pruned_below = 0        # seqs < pruned_below were discarded
+        # -- incremental gap tracking (NACK checks) ------------------------
+        # stamped seqs whose payload we lack
+        self._missing: Set[int] = set()
+        # |{s in key_at : s > delivered_seq}| — with max_stamp and
+        # delivered_seq this answers has_stamp_gap without a range scan
+        self._stamped_undelivered = 0
 
     # ------------------------------------------------------------------
     # ingestion
@@ -75,6 +93,9 @@ class ViewOrdering:
         if msg.fifo_seq < self.fifo_floor.get(msg.origin, 0):
             return False  # duplicate of an already-pruned message
         self.data[key] = msg
+        seq = self.stamp_of.get(key)
+        if seq is not None:
+            self._missing.discard(seq)
         if self.mode == "sequencer" and self.me == self.sequencer:
             self._stamp_contiguous(msg.origin)
         self._advance_ack()
@@ -138,22 +159,38 @@ class ViewOrdering:
             return
         self.key_at[seq] = key
         self.stamp_of[key] = seq
+        if key not in self.data:
+            self._missing.add(seq)
+        if seq > self.delivered_seq:
+            self._stamped_undelivered += 1
         if seq > self.max_stamp:
             self.max_stamp = seq
         if self.me != self.sequencer and seq >= self.next_seq:
             self.next_seq = seq + 1
 
     def add_ack(self, node: int, ack_seq: int) -> None:
-        if node in self.acks and ack_seq > self.acks[node]:
+        old = self.acks.get(node)
+        if old is not None and ack_seq > old:
             self.acks[node] = ack_seq
+            if old == self._stability:
+                self._stability = min(self.acks.values())
 
     def _advance_ack(self) -> None:
         s = self.ack_seq + 1
-        while s in self.key_at and self.key_at[s] in self.data:
+        key_at = self.key_at
+        data = self.data
+        while True:
+            key = key_at.get(s)
+            if key is None or key not in data:
+                break
             self.ack_seq = s
             s += 1
-        if self.acks.get(self.me, -1) < self.ack_seq:
-            self.acks[self.me] = self.ack_seq
+        me = self.me
+        old = self.acks.get(me, -1)
+        if old < self.ack_seq:
+            self.acks[me] = self.ack_seq
+            if old == self._stability:
+                self._stability = min(self.acks.values())
 
     # ------------------------------------------------------------------
     # stability & delivery
@@ -161,21 +198,32 @@ class ViewOrdering:
     @property
     def stability_line(self) -> int:
         """Highest seq known to be received by every view member."""
-        return min(self.acks.get(m, -1) for m in self.members)
+        return self._stability
 
     def pop_deliverable(self) -> List[Tuple[int, DataMsg]]:
-        """Messages deliverable now, in order; advances delivered_seq."""
+        """Messages deliverable now, in order; advances delivered_seq.
+
+        Most calls find nothing to deliver (delivery is attempted after
+        every ingestion), so the head position is probed before any
+        allocation happens.
+        """
+        key_at = self.key_at
+        data = self.data
+        key = key_at.get(self.delivered_seq + 1)
+        if key is None or key not in data:
+            return _NOTHING
         out: List[Tuple[int, DataMsg]] = []
-        stable = self.stability_line
+        stable = self._stability
         while True:
             s = self.delivered_seq + 1
-            key = self.key_at.get(s)
-            if key is None or key not in self.data:
+            key = key_at.get(s)
+            if key is None or key not in data:
                 break
-            msg = self.data[key]
-            if msg.service.needs_stability and s > stable:
+            msg = data[key]
+            if s > stable and msg.service is _SAFE:
                 break
             self.delivered_seq = s
+            self._stamped_undelivered -= 1
             out.append((s, msg))
         return out
 
@@ -196,13 +244,14 @@ class ViewOrdering:
         prune point can ever be needed again: every member holds it
         (stability) and we already delivered it.
         """
-        limit = min(self.delivered_seq, self.stability_line)
+        limit = min(self.delivered_seq, self._stability)
         pruned = 0
         for seq in range(self.pruned_below, limit + 1):
             key = self.key_at.pop(seq, None)
             if key is None:
                 continue
             self.stamp_of.pop(key, None)
+            self._missing.discard(seq)
             if self.data.pop(key, None) is not None:
                 pruned += 1
             origin, fifo = key
@@ -215,14 +264,22 @@ class ViewOrdering:
     # gap detection (NACK-based loss recovery)
     # ------------------------------------------------------------------
     def missing_data_seqs(self) -> List[int]:
-        """Stamped positions up to max_stamp whose payload we lack."""
-        return [s for s in range(self.delivered_seq + 1, self.max_stamp + 1)
-                if s in self.key_at and self.key_at[s] not in self.data]
+        """Stamped positions up to max_stamp whose payload we lack.
+
+        Tracked incrementally (a stamped seq joins the set while its
+        payload is absent); a stamped-but-missing seq is always above
+        the delivered prefix, so no range scan is needed.
+        """
+        return sorted(self._missing)
 
     def has_stamp_gap(self) -> bool:
-        """True if some position below max_stamp has no known stamp."""
-        return any(s not in self.key_at
-                   for s in range(self.delivered_seq + 1, self.max_stamp))
+        """True if some position below max_stamp has no known stamp.
+
+        ``_stamped_undelivered`` counts known stamps above the delivered
+        prefix; comparing it against the width of
+        ``(delivered_seq, max_stamp]`` detects a hole in O(1).
+        """
+        return self._stamped_undelivered < self.max_stamp - self.delivered_seq
 
     def has_unstamped_foreign_data(self) -> bool:
         """(Non-sequencer) data held with no stamp for it: the stamp
@@ -253,16 +310,17 @@ class ViewOrdering:
             if key not in self.data:
                 self.data[key] = DataMsg(self.view_id, origin, fifo_seq,
                                          payload, service, size)
+            if self.key_at.get(seq) in self.data:
+                self._missing.discard(seq)
         self._advance_ack()
 
     # ------------------------------------------------------------------
     # flush support (membership change)
     # ------------------------------------------------------------------
     def state_report(self, node: int, attempt: int) -> StateReportMsg:
-        stamps = tuple((s, k[0], k[1])
-                       for s, k in sorted(self.key_at.items()))
-        have = tuple(s for s, k in sorted(self.key_at.items())
-                     if k in self.data)
+        ordered = sorted(self.key_at.items())
+        stamps = tuple((s, k[0], k[1]) for s, k in ordered)
+        have = tuple(s for s, k in ordered if k in self.data)
         return StateReportMsg(
             node=node, attempt=attempt, old_view_id=self.view_id,
             stamps=stamps, have_data=have, ack_seq=self.ack_seq,

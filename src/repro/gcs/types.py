@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, NamedTuple, Optional, Tuple
 
 
 class ServiceLevel(Enum):
@@ -34,9 +34,13 @@ class ServiceLevel(Enum):
         return self is ServiceLevel.SAFE
 
 
-@dataclass(frozen=True, order=True)
-class ViewId:
-    """Identifier of a regular configuration: (epoch, coordinator)."""
+class ViewId(NamedTuple):
+    """Identifier of a regular configuration: (epoch, coordinator).
+
+    A NamedTuple rather than a frozen dataclass: view ids are compared
+    and hashed on every datagram the GCS daemon handles, and the
+    C-level tuple operations keep that off the interpreter's profile.
+    """
 
     epoch: int
     coordinator: int

@@ -2,14 +2,9 @@
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
-_datagram_ids = itertools.count(1)
 
-
-@dataclass(frozen=True)
 class Datagram:
     """One unreliable datagram in flight.
 
@@ -17,15 +12,27 @@ class Datagram:
     ``size`` is the wire size in bytes used by the bandwidth model; the
     paper's workload uses 200-byte actions, and protocol layers add their
     own header estimates.
+
+    A plain ``__slots__`` class rather than a dataclass: the fabric
+    constructs one per destination per send, which makes this one of the
+    hottest allocations in the whole simulator.
     """
 
-    src: int
-    dst: int
-    payload: Any
-    size: int = 200
-    sent_at: float = 0.0
-    uid: int = field(default_factory=lambda: next(_datagram_ids))
+    __slots__ = ("src", "dst", "payload", "size", "sent_at")
+
+    def __init__(self, src: int, dst: int, payload: Any, size: int = 200,
+                 sent_at: float = 0.0):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
-        return (f"Datagram#{self.uid} {self.src}->{self.dst} "
+        return (f"Datagram {self.src}->{self.dst} "
                 f"{type(self.payload).__name__} {self.size}B")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Datagram(src={self.src}, dst={self.dst}, "
+                f"payload={self.payload!r}, size={self.size}, "
+                f"sent_at={self.sent_at})")

@@ -17,6 +17,7 @@ Spread).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, Iterable, Optional
 
 from ..sim import Simulator, Tracer
@@ -50,6 +51,8 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.profile = profile or NetworkProfile()
+        # Hoisted once: read per arriving datagram.
+        self._recv_overhead = self.profile.recv_overhead
         self.rng = rng
         self.tracer = tracer or Tracer(enabled=False)
         self._handlers: Dict[int, Handler] = {}
@@ -96,86 +99,140 @@ class Network:
         The source is *not* implicitly included; GCS layers that need
         self-delivery handle it themselves (loopback is free and
         immediate on real stacks; here it costs one ingress service).
+        ``dsts`` is consumed exactly once, so tuples and lists pass
+        through without a copy.
         """
-        self._send_batch(src, tuple(dsts), payload, size)
+        if not isinstance(dsts, (tuple, list)):
+            dsts = tuple(dsts)
+        self._send_batch(src, dsts, payload, size)
 
     def _send_batch(self, src: int, dsts: Iterable[int], payload: Any,
                     size: int) -> None:
-        if not self.topology.is_alive(src) or src not in self._handlers:
+        topology = self.topology
+        if not topology.is_alive(src) or src not in self._handlers:
             return
-        port = self._ports.setdefault(src, _Port())
-        start = max(self.sim.now, port.egress_free_at)
-        done = (start + self.profile.send_overhead
-                + self.profile.serialization_delay(size))
+        port = self._ports.get(src)
+        if port is None:
+            port = self._ports[src] = _Port()
+        sim = self.sim
+        now = sim.now
+        profile = self.profile
+        free = port.egress_free_at
+        done = ((now if now > free else free) + profile.send_overhead
+                + profile.serialization_delay(size))
         port.egress_free_at = done
         self.datagrams_sent += 1
         self.bytes_sent += size
+        rng = self.rng
+        jitter = profile.jitter if rng is not None else 0.0
+        loss_rate = profile.loss_rate if rng is not None else 0.0
+        interceptor = self.interceptor
+        tracer = self.tracer
+        base_arrival = done + profile.propagation_delay
+        # Hottest push in the system: enqueue the kernel's raw
+        # fire-and-forget entry directly (same shape post_at builds)
+        # rather than paying a Python call per destination.  Arrival
+        # times are ``>= now`` by construction.
+        heap = sim._heap
+        seq = sim._seq
+        arrive = self._arrive
         for dst in dsts:
-            datagram = Datagram(src=src, dst=dst, payload=payload,
-                                size=size, sent_at=self.sim.now)
-            if dst != src and not self.topology.reachable(src, dst):
-                self._drop(datagram, "unreachable_at_send")
+            # Destinations already dead or cut off at send time never see
+            # the datagram, so don't even construct it (one allocation per
+            # destination on the hottest path in the fabric).
+            if dst != src and not topology.reachable(src, dst):
+                self.datagrams_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(now, dst, "net.drop", src=src,
+                                reason="unreachable_at_send")
                 continue
-            if self.profile.drops(self.rng):
-                self._drop(datagram, "loss")
+            # Inlined profile.drops(): no draw at zero loss, identical
+            # draw otherwise, one Python call fewer per destination.
+            if loss_rate > 0.0 and rng.random() < loss_rate:
+                self.datagrams_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(now, dst, "net.drop", src=src,
+                                reason="loss")
                 continue
+            datagram = Datagram(src, dst, payload, size, now)
             extra_delay = 0.0
-            if self.interceptor is not None:
-                verdict = self.interceptor(datagram)
+            if interceptor is not None:
+                verdict = interceptor(datagram)
                 if verdict is False:
                     self._drop(datagram, "intercepted")
                     continue
                 if isinstance(verdict, (int, float)) \
                         and not isinstance(verdict, bool):
                     extra_delay = float(verdict)
-            arrival = (done + self.profile.propagation_delay
-                       + self.profile.sample_jitter(self.rng)
-                       + extra_delay)
+            # The jitter draw happens per surviving destination — also
+            # for self-delivery, whose arrival ignores it — to keep the
+            # seeded random stream stable across code revisions.
+            # ``jitter * rng.random()`` is bit-identical to
+            # ``rng.uniform(0.0, jitter)`` with one Python call fewer.
+            jit = jitter * rng.random() if jitter > 0.0 else 0.0
             if dst == src:
-                arrival = done + extra_delay
-            self.sim.schedule_at(arrival, self._arrive, datagram)
+                heappush(heap, (done + extra_delay, next(seq), arrive,
+                                (datagram,)))
+            else:
+                heappush(heap, (base_arrival + jit + extra_delay,
+                                next(seq), arrive, (datagram,)))
 
     # ------------------------------------------------------------------
     # delivery
     # ------------------------------------------------------------------
     def _arrive(self, datagram: Datagram) -> None:
         src, dst = datagram.src, datagram.dst
-        if dst != src and not self.topology.reachable(src, dst):
-            self._drop(datagram, "unreachable_at_delivery")
-            return
-        if not self.topology.is_alive(dst):
-            self._drop(datagram, "dst_crashed")
-            return
-        handler = self._handlers.get(dst)
-        if handler is None:
+        topology = self.topology
+        # Healthy fabric (every node up, one component): the send-time
+        # check already vouched for src and dst, so skip the per-hop
+        # liveness/partition queries entirely.
+        if not topology._all_connected:
+            if dst != src and not topology.reachable(src, dst):
+                self._drop(datagram, "unreachable_at_delivery")
+                return
+            if not topology.is_alive(dst):
+                self._drop(datagram, "dst_crashed")
+                return
+        if dst not in self._handlers:
             self._drop(datagram, "dst_detached")
             return
-        port = self._ports.setdefault(dst, _Port())
-        ready = (max(self.sim.now, port.ingress_free_at)
-                 + self.profile.recv_overhead)
+        port = self._ports.get(dst)
+        if port is None:
+            port = self._ports[dst] = _Port()
+        sim = self.sim
+        now = sim.now
+        free = port.ingress_free_at
+        ready = (now if now > free else free) + self._recv_overhead
         port.ingress_free_at = ready
-        self.sim.schedule_at(ready, self._deliver, datagram)
+        # Direct raw push (see _send_batch): ``ready >= now`` holds.
+        heappush(sim._heap, (ready, next(sim._seq), self._deliver,
+                             (datagram,)))
 
     def _deliver(self, datagram: Datagram) -> None:
         # Re-check at the actual delivery instant: the destination may
         # have crashed or been cut off while queued at the ingress port.
-        if not self.topology.is_alive(datagram.dst):
-            self._drop(datagram, "dst_crashed")
-            return
-        if (datagram.dst != datagram.src and
-                not self.topology.reachable(datagram.src, datagram.dst)):
-            self._drop(datagram, "unreachable_at_delivery")
-            return
-        handler = self._handlers.get(datagram.dst)
+        src, dst = datagram.src, datagram.dst
+        topology = self.topology
+        if not topology._all_connected:
+            if not topology.is_alive(dst):
+                self._drop(datagram, "dst_crashed")
+                return
+            if dst != src and not topology.reachable(src, dst):
+                self._drop(datagram, "unreachable_at_delivery")
+                return
+        handler = self._handlers.get(dst)
         if handler is None:
             self._drop(datagram, "dst_detached")
             return
         self.datagrams_delivered += 1
-        self.tracer.emit(self.sim.now, datagram.dst, "net.deliver",
-                         src=datagram.src, size=datagram.size)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, dst, "net.deliver",
+                        src=src, size=datagram.size)
         handler(datagram)
 
     def _drop(self, datagram: Datagram, reason: str) -> None:
         self.datagrams_dropped += 1
-        self.tracer.emit(self.sim.now, datagram.dst, "net.drop",
-                         src=datagram.src, reason=reason)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, datagram.dst, "net.drop",
+                             src=datagram.src, reason=reason)

@@ -33,6 +33,11 @@ class Topology:
         self._alive: Dict[int, bool] = {n: True for n in self.nodes}
         self._next_component = 1
         self._listeners: List[Callable[[], None]] = []
+        # Fast path: in the (overwhelmingly common) healthy state —
+        # every node alive, one component — reachability is just "both
+        # nodes exist".  Recomputed on every mutation, checked per
+        # datagram.
+        self._all_connected = True
 
     # ------------------------------------------------------------------
     # queries
@@ -42,9 +47,12 @@ class Topology:
 
     def reachable(self, a: int, b: int) -> bool:
         """True iff a and b are both alive and in the same component."""
+        alive = self._alive
+        if self._all_connected:
+            return a in alive and b in alive
         if a == b:
-            return self._alive.get(a, False)
-        return (self._alive.get(a, False) and self._alive.get(b, False)
+            return alive.get(a, False)
+        return (alive.get(a, False) and alive.get(b, False)
                 and self._component_of[a] == self._component_of[b])
 
     def component_members(self, node: int) -> FrozenSet[int]:
@@ -159,5 +167,9 @@ class Topology:
         self._listeners.append(callback)
 
     def _notify(self) -> None:
+        alive = self._alive
+        self._all_connected = (
+            all(alive.values())
+            and len(set(self._component_of.values())) <= 1)
         for callback in list(self._listeners):
             callback()

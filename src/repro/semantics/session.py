@@ -123,7 +123,7 @@ class SessionClient:
                         client=self.session, on_complete=complete)
                 except RuntimeError:
                     self._rotate()
-            self.sim.schedule(self.retry_interval, retry)
+            self.sim.post(self.retry_interval, retry)
 
         def retry() -> None:
             if state["done"]:

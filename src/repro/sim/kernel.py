@@ -10,6 +10,26 @@ Determinism is a hard requirement: two runs with the same seed and the
 same scenario must produce bit-identical traces.  The kernel therefore
 breaks timestamp ties with a monotonically increasing sequence number and
 never consults wall-clock time or unseeded randomness.
+
+Two scheduling paths share one heap:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  cancellable :class:`EventHandle`; the heap entry is a
+  ``(time, seq, handle)`` triple.
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` are the
+  fire-and-forget fast path: the heap entry is a raw
+  ``(time, seq, callback, args)`` tuple and no handle object is ever
+  allocated.  The bulk of simulation traffic (network hops, disk syncs,
+  completion notifications) never cancels, so this is the common case.
+
+Entries are totally ordered by the unique ``(time, seq)`` prefix, so the
+two shapes coexist in the heap without ever comparing their tails.
+Cancellation stays lazy, but the kernel counts lazily-cancelled entries
+and compacts the heap in place once they outnumber the live ones
+(periodic timers cancel/reschedule constantly; without compaction the
+heap grows with the number of *restarts*, not the number of live
+timers).  Compaction re-heapifies, which cannot perturb dispatch order
+because ``(time, seq)`` is a total order.
 """
 
 from __future__ import annotations
@@ -17,6 +37,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
+
+# Compact only above this heap size: tiny heaps are cheap to scan and
+# compacting them would just add churn.
+_COMPACT_MIN = 64
 
 
 class SimulationError(Exception):
@@ -31,10 +55,12 @@ class EventHandle:
     cancelled.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("sim", "time", "seq", "callback", "args", "_cancelled",
+                 "_fired")
 
-    def __init__(self, time: float, seq: int,
+    def __init__(self, sim: "Simulator", time: float, seq: int,
                  callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.sim = sim
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -44,7 +70,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if not self._fired:
+                self.sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -72,21 +101,21 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        # ``now`` is a plain attribute, not a property: it is read on
+        # every scheduling call and every tracer emit in the system.
+        self.now = 0.0
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
         self._stopped = False
+        # lazily-cancelled EventHandle entries still sitting in the heap
+        self._cancelled_in_heap = 0
+        self.peak_heap = 0
 
     # ------------------------------------------------------------------
     # time
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
-
     @property
     def events_processed(self) -> int:
         """Total number of events dispatched so far."""
@@ -100,17 +129,33 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self.now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute virtual ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} < now ({self._now})")
-        handle = EventHandle(time, next(self._seq), callback, args)
+                f"cannot schedule at {time} < now ({self.now})")
+        handle = EventHandle(self, time, next(self._seq), callback, args)
         heapq.heappush(self._heap, (time, handle.seq, handle))
         return handle
+
+    def post(self, delay: float, callback: Callable[..., None],
+             *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle` is
+        allocated, so the event cannot be cancelled."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self.post_at(self.now + delay, callback, *args)
+
+    def post_at(self, time: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (no cancellation)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self.now})")
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
 
     def call_soon(self, callback: Callable[..., None],
                   *args: Any) -> EventHandle:
@@ -119,18 +164,44 @@ class Simulator:
         return self.schedule(0.0, callback, *args)
 
     # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (len(heap) >= _COMPACT_MIN
+                and self._cancelled_in_heap * 2 > len(heap)):
+            # In-place so aliases held by a running dispatch loop stay
+            # valid; heapify preserves dispatch order ((time, seq) is a
+            # total order).
+            heap[:] = [entry for entry in heap
+                       if len(entry) != 3 or not entry[2]._cancelled]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False when idle."""
-        while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = time
-            handle._fired = True
-            self._events_processed += 1
-            handle.callback(*handle.args)
+        heap = self._heap
+        while heap:
+            if len(heap) > self.peak_heap:
+                self.peak_heap = len(heap)
+            entry = heapq.heappop(heap)
+            if len(entry) == 3:
+                handle = entry[2]
+                if handle._cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self.now = entry[0]
+                handle._fired = True
+                self._events_processed += 1
+                handle.callback(*handle.args)
+            else:
+                self.now = entry[0]
+                self._events_processed += 1
+                entry[2](*entry[3])
             return True
         return False
 
@@ -147,27 +218,54 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
+        processed = 0
+        peak = self.peak_heap
+        deadline = float("inf") if until is None else until
+        heap = self._heap  # stable alias: compaction mutates in place
+        pop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                time, _seq, handle = self._heap[0]
-                if handle.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and time > until:
+            while heap and not self._stopped:
+                # Peak size is sampled at pop time: the heap only grows
+                # between two pops, so its size here is the running
+                # maximum since the previous event (push side stays
+                # check-free).
+                if len(heap) > peak:
+                    peak = len(heap)
+                entry = heap[0]
+                if len(entry) == 3:
+                    handle = entry[2]
+                    if handle._cancelled:
+                        pop(heap)
+                        self._cancelled_in_heap -= 1
+                        continue
+                else:
+                    handle = None
+                time = entry[0]
+                if time > deadline:
                     break
-                if max_events is not None and dispatched >= max_events:
-                    raise SimulationError(
-                        f"event budget of {max_events} exhausted at "
-                        f"t={self._now:.6f}; likely livelock")
-                heapq.heappop(self._heap)
-                self._now = time
-                handle._fired = True
-                self._events_processed += 1
-                dispatched += 1
-                handle.callback(*handle.args)
-            if until is not None and self._now < until:
-                self._now = until
+                if max_events is not None:
+                    if dispatched >= max_events:
+                        raise SimulationError(
+                            f"event budget of {max_events} exhausted at "
+                            f"t={self.now:.6f}; likely livelock")
+                    dispatched += 1
+                pop(heap)
+                self.now = time
+                processed += 1
+                if handle is None:
+                    entry[2](*entry[3])
+                else:
+                    handle._fired = True
+                    handle.callback(*handle.args)
+            if until is not None and self.now < until:
+                self.now = until
         finally:
+            # Flushed once per run() rather than incremented per event;
+            # nothing consumes the counter mid-dispatch.
+            self._events_processed += processed
+            if len(heap) > peak:
+                peak = len(heap)
+            self.peak_heap = peak
             self._running = False
 
     def stop(self) -> None:
@@ -176,10 +274,10 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue (approximate:
-        lazily-cancelled entries are excluded)."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events in the queue
+        (lazily-cancelled entries are excluded)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<Simulator now={self._now:.6f} pending={self.pending} "
+        return (f"<Simulator now={self.now:.6f} pending={self.pending} "
                 f"processed={self._events_processed}>")

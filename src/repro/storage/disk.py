@@ -87,6 +87,9 @@ class SimulatedDisk:
         self.syncs = 0
         self.async_writes = 0
         self.total_sync_wait = 0.0
+        # Bumped on every mutation of ``durable``; recovery-scan caches
+        # (the WAL's typed index) key off it.
+        self.durable_version = 0
 
     # ------------------------------------------------------------------
     # writes
@@ -103,13 +106,15 @@ class SimulatedDisk:
         else:
             self.async_writes += 1
             self.volatile.append(payload)
-            incarnation = self._incarnation
-            def complete() -> None:
-                if incarnation != self._incarnation:
-                    return
-                if callback is not None:
-                    callback()
-            self.sim.schedule(self.profile.async_write_latency, complete)
+            self.sim.post(self.profile.async_write_latency,
+                          self._async_done, callback, self._incarnation)
+
+    def _async_done(self, callback: Optional[Callback],
+                    incarnation: int) -> None:
+        if incarnation != self._incarnation:
+            return
+        if callback is not None:
+            callback()
 
     def rewrite(self, contents: List[Any],
                 callback: Optional[Callback] = None) -> None:
@@ -126,11 +131,26 @@ class SimulatedDisk:
         self._maybe_start_sync()
 
     def flush(self, callback: Optional[Callback] = None) -> None:
-        """Force everything buffered (async region) onto the platter."""
+        """Force everything buffered (async region) onto the platter.
+
+        An empty buffer means there is nothing to make durable: no
+        platter sync is scheduled (and no forced write is counted) —
+        the callback fires on the next kernel tick, after anything
+        already queued for the current instant.
+        """
+        if not self.volatile:
+            if callback is not None:
+                incarnation = self._incarnation
+                def complete() -> None:
+                    if incarnation == self._incarnation:
+                        callback()
+                self.sim.post(0.0, complete)
+            return
         staged = self.volatile
         self.volatile = []
         def on_durable() -> None:
             self.durable.extend(staged)
+            self.durable_version += 1
             if callback is not None:
                 callback()
         request = WriteRequest(None, on_durable, True, self.sim.now)
@@ -150,16 +170,18 @@ class SimulatedDisk:
         self._busy = True
         self.syncs += 1
         incarnation = self._incarnation
-        self.tracer.emit(self.sim.now, self.node, "disk.sync",
-                         batch=len(batch))
-        self.sim.schedule(self.profile.forced_write_latency,
-                          self._sync_done, batch, incarnation)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.node, "disk.sync",
+                             batch=len(batch))
+        self.sim.post(self.profile.forced_write_latency,
+                      self._sync_done, batch, incarnation)
 
     def _sync_done(self, batch: List[WriteRequest],
                    incarnation: int) -> None:
         if incarnation != self._incarnation:
             return  # disk crashed while syncing; batch lost
         self._busy = False
+        self.durable_version += 1
         for request in batch:
             request.done = True
             if request.replace:

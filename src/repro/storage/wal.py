@@ -8,15 +8,18 @@ scan can rebuild exactly the state the paper's Recover procedure
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, NamedTuple, \
+    Optional
 
 from .disk import SimulatedDisk
 
 
-@dataclass(frozen=True)
-class LogRecord:
-    """A typed WAL entry."""
+class LogRecord(NamedTuple):
+    """A typed WAL entry.
+
+    A NamedTuple: one is allocated per journaled action on the hot
+    apply path, and tuple construction stays out of the interpreter.
+    """
 
     kind: str
     data: Any
@@ -26,10 +29,38 @@ class LogRecord:
 
 
 class WriteAheadLog:
-    """Append-only typed log with forced or buffered appends."""
+    """Append-only typed log with forced or buffered appends.
+
+    Recovery queries (:meth:`recover`, :meth:`recover_kind`,
+    :meth:`last_of_kind`) are served from a typed index built in a
+    single scan of the durable contents and cached against the disk's
+    ``durable_version``, so a recovery that reads several kinds — and a
+    checkpoint path that asks repeatedly — pays for one scan, not one
+    per query.
+    """
 
     def __init__(self, disk: SimulatedDisk):
         self.disk = disk
+        self._index_version = -1
+        self._records: List[LogRecord] = []
+        self._by_kind: Dict[str, List[LogRecord]] = {}
+
+    def _index(self) -> Dict[str, List[LogRecord]]:
+        version = self.disk.durable_version
+        if version != self._index_version:
+            records: List[LogRecord] = []
+            by_kind: Dict[str, List[LogRecord]] = {}
+            for record in self.disk.durable:
+                if isinstance(record, LogRecord):
+                    records.append(record)
+                    bucket = by_kind.get(record.kind)
+                    if bucket is None:
+                        bucket = by_kind[record.kind] = []
+                    bucket.append(record)
+            self._records = records
+            self._by_kind = by_kind
+            self._index_version = version
+        return self._by_kind
 
     def append(self, kind: str, data: Any,
                callback: Optional[Callable[[], None]] = None,
@@ -58,16 +89,14 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def recover(self) -> List[LogRecord]:
         """All durable records in append order."""
-        return [r for r in self.disk.recover() if isinstance(r, LogRecord)]
+        self._index()
+        return list(self._records)
 
     def recover_kind(self, kind: str) -> Iterator[LogRecord]:
-        for record in self.recover():
-            if record.kind == kind:
-                yield record
+        """Durable records of ``kind`` in append order (indexed)."""
+        return iter(self._index().get(kind, ()))
 
     def last_of_kind(self, kind: str) -> Optional[LogRecord]:
-        result: Optional[LogRecord] = None
-        for record in self.recover():
-            if record.kind == kind:
-                result = record
-        return result
+        """Latest durable record of ``kind``, or None (indexed)."""
+        records = self._index().get(kind)
+        return records[-1] if records else None

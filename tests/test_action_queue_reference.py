@@ -1,0 +1,177 @@
+"""Differential test: indexed ActionQueue vs. the original list-based one.
+
+The production :class:`~repro.core.ActionQueue` replaced its O(n) red
+list with an insertion-ordered dict plus per-creator buckets.  This
+suite replays random operation scripts against both the production
+queue and ``_ReferenceQueue`` — a faithful copy of the original
+list-scanning implementation — and asserts every observable query
+(red order, per-creator red order, green order, colors, cuts, lines,
+truncation counts) stays identical.  Complements
+``test_property_queue.py``, which checks invariants in isolation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ActionQueue
+from repro.db import Action, ActionId
+
+SERVERS = [1, 2, 3, 4]
+
+
+class _ReferenceQueue:
+    """The seed ActionQueue: red region as a plain list, O(n) scans."""
+
+    def __init__(self, server_ids):
+        self._green = []
+        self.green_offset = 0
+        self._green_pos = {}
+        self._red = []
+        self._red_set = {}
+        self.red_cut = {s: 0 for s in server_ids}
+        self.green_lines = {s: 0 for s in server_ids}
+
+    def remove_server(self, server_id):
+        self.red_cut.pop(server_id, None)
+        self.green_lines.pop(server_id, None)
+        for action in [a for a in self._red if a.server_id == server_id]:
+            self._remove_red(action.action_id)
+
+    @property
+    def green_count(self):
+        return self.green_offset + len(self._green)
+
+    def red_actions(self):
+        return list(self._red)
+
+    def red_actions_of(self, creator):
+        return sorted((a for a in self._red if a.server_id == creator),
+                      key=lambda a: a.action_id.index)
+
+    def mark_red(self, action):
+        creator = action.server_id
+        if creator not in self.red_cut:
+            return False
+        if self.red_cut[creator] != action.action_id.index - 1:
+            return False
+        self.red_cut[creator] = action.action_id.index
+        self._red.append(action)
+        self._red_set[action.action_id] = action
+        return True
+
+    def mark_green(self, action):
+        self.mark_red(action)
+        if action.action_id in self._green_pos:
+            return False
+        if action.action_id not in self._red_set:
+            if action.action_id.index <= self.red_cut.get(
+                    action.server_id, 0):
+                return False
+            raise ValueError("FIFO gap")
+        self._remove_red(action.action_id)
+        position = self.green_count
+        self._green.append(action)
+        self._green_pos[action.action_id] = position
+        return True
+
+    def _remove_red(self, action_id):
+        del self._red_set[action_id]
+        for i, act in enumerate(self._red):
+            if act.action_id == action_id:
+                del self._red[i]
+                break
+
+    def set_green_line(self, server_id, green_count):
+        if server_id in self.green_lines:
+            if green_count > self.green_lines[server_id]:
+                self.green_lines[server_id] = green_count
+        else:
+            self.green_lines[server_id] = green_count
+
+    @property
+    def white_line(self):
+        if not self.green_lines:
+            return 0
+        return min(self.green_lines.values())
+
+    def truncate_white(self):
+        limit = min(self.white_line, self.green_count)
+        discard = limit - self.green_offset
+        if discard <= 0:
+            return 0
+        for action in self._green[:discard]:
+            del self._green_pos[action.action_id]
+        self._green = self._green[discard:]
+        self.green_offset = limit
+        return discard
+
+
+def _ids(actions):
+    return [a.action_id for a in actions]
+
+
+def _assert_same(queue, ref):
+    assert _ids(queue.red_actions()) == _ids(ref.red_actions())
+    for s in SERVERS:
+        assert _ids(queue.red_actions_of(s)) == _ids(ref.red_actions_of(s))
+    assert queue.red_cut == ref.red_cut
+    assert queue.green_lines == ref.green_lines
+    assert queue.green_count == ref.green_count
+    assert queue.green_offset == ref.green_offset
+    assert queue.white_line == ref.white_line
+    assert (_ids(a for _, a in queue.green_slice(queue.green_offset))
+            == [a.action_id for a in ref._green])
+
+
+# Scripts mix valid next-index ops with duplicates/out-of-order replays
+# (index jitter), membership removal, line advancement, and truncation.
+ops = st.lists(
+    st.tuples(st.sampled_from(SERVERS),
+              st.sampled_from(["red", "green", "replay_red",
+                               "line", "truncate", "remove"]),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=150)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_indexed_queue_matches_seed_reference(script):
+    queue = ActionQueue(SERVERS)
+    ref = _ReferenceQueue(SERVERS)
+    next_index = {s: 1 for s in SERVERS}
+    removed = set()
+
+    for server, kind, jitter in script:
+        if kind == "red":
+            act = Action(action_id=ActionId(server, next_index[server]))
+            got = queue.mark_red(act)
+            assert got == ref.mark_red(act)
+            if got:
+                next_index[server] += 1
+        elif kind == "green":
+            act = Action(action_id=ActionId(server, next_index[server]))
+            if server in removed:
+                # mark_green on a purged creator raises (FIFO gap) in
+                # both implementations; exercise the rejection path.
+                assert queue.mark_red(act) == ref.mark_red(act)
+            else:
+                assert queue.mark_green(act) == ref.mark_green(act)
+                next_index[server] += 1
+        elif kind == "replay_red":
+            # Duplicate or out-of-order arrival: must be rejected the
+            # same way by both (index jitter lands behind/at/past cut).
+            index = max(1, next_index[server] - jitter)
+            act = Action(action_id=ActionId(server, index))
+            assert queue.mark_red(act) == ref.mark_red(act)
+        elif kind == "line":
+            line = min(queue.green_count, jitter * 2)
+            queue.set_green_line(server, line)
+            ref.set_green_line(server, line)
+        elif kind == "truncate":
+            assert queue.truncate_white() == ref.truncate_white()
+        elif kind == "remove":
+            # Keep server 1 so the cuts never empty out.
+            if server != 1:
+                queue.remove_server(server)
+                ref.remove_server(server)
+                removed.add(server)
+        _assert_same(queue, ref)

@@ -80,8 +80,20 @@ class TestQuorum:
         policy = DynamicLinearVoting()
         assert policy.is_quorum({1, 2}, (1, 2, 3), [1, 2, 3, 4, 5])
         assert not policy.is_quorum({1}, (1, 2, 3), [1, 2, 3, 4, 5])
-        # Exactly half is NOT a majority.
-        assert not policy.is_quorum({1, 2}, (1, 2, 3, 4), [1, 2, 3, 4])
+
+    def test_dlv_linear_tie_break(self):
+        policy = DynamicLinearVoting()
+        # Exactly half the votes: the side holding the distinguished
+        # (lowest-id) member of the last primary wins the tie [Jajodia
+        # & Mutchler 90]; the complementary half does not, so two
+        # primaries can never coexist.
+        assert policy.is_quorum({1, 2}, (1, 2, 3, 4), [1, 2, 3, 4])
+        assert not policy.is_quorum({3, 4}, (1, 2, 3, 4), [1, 2, 3, 4])
+        # Without the tie-break an even last primary could deadlock
+        # forever, e.g. when the absent half left voluntarily and its
+        # leave went green only at the leaver before it exited.
+        assert policy.is_quorum({2}, (2, 3), [1, 2, 3])
+        assert not policy.is_quorum({3}, (2, 3), [1, 2, 3])
 
     def test_dlv_bootstrap_uses_full_set(self):
         policy = DynamicLinearVoting()

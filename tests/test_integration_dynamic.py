@@ -67,11 +67,14 @@ class TestJoin:
     def test_join_counts_toward_quorum(self, cluster):
         cluster.add_replica(4, peer=2)
         cluster.run_for(4.0)
-        # With 4 servers and last prim {1,2,3,4}, a 3-member component
-        # has quorum; 2 members do not.
-        cluster.partition([1, 2], [3, 4])
+        # With last prim {1,2,3,4}, the {1,4} half holds exactly half
+        # the votes plus the distinguished (lowest-id) member, so it
+        # continues as primary under the linear tie-break; {2,3} — a
+        # strict majority of the pre-join prim {1,2,3} — must not,
+        # which proves the joiner's vote is counted.
+        cluster.partition([1, 4], [2, 3])
         cluster.run_for(2.0)
-        assert cluster.primary_members() == []
+        assert sorted(cluster.primary_members()) == [1, 4]
 
     def test_duplicate_persistent_join_ignored(self, cluster):
         """Only the first ordered PERSISTENT_JOIN defines the entry
@@ -120,10 +123,12 @@ class TestLeave:
     def test_leave_shrinks_quorum_requirements(self, cluster):
         cluster.replicas[3].leave()
         cluster.run_for(2.0)
-        # New primary is {1,2}; 2 of 2 needed... partition them.
+        # New primary is {1,2}.  Splitting it leaves each side exactly
+        # half the votes: the linear tie-break lets the side with the
+        # distinguished member 1 continue alone — server 2 must not.
         cluster.partition([1], [2, 3])
         cluster.run_for(2.0)
-        assert cluster.primary_members() == []
+        assert cluster.primary_members() == [1]
         cluster.heal()
         cluster.run_for(2.0)
         assert sorted(cluster.primary_members()) == [1, 2]
