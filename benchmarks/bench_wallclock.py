@@ -13,7 +13,11 @@ through them:
   hottest steady-state workload in the suite;
 * ``membership_cost``  — the Experiment E6 fault schedule (partitions
   and heals with traffic), which exercises view changes, flush, and
-  recovery paths.
+  recovery paths;
+* ``runtime_adapter``  — a dispatch microbenchmark of ``SimRuntime``
+  (the Runtime-protocol face of the kernel) against the bare
+  ``Simulator``; the run *fails* if the adapter costs more than 2%,
+  guarding the zero-cost-abstraction claim of the runtime layer.
 
 For each scenario it records wall seconds, total events dispatched,
 events/sec, total simulated seconds, and the peak kernel heap size,
@@ -54,6 +58,8 @@ from bench_common import (BENCH_WALLCLOCK_PATH, CLIENT_COUNTS,
 from repro.bench import sweep_clients
 from repro.core import ReplicaCluster
 from repro.gcs import GcsSettings
+from repro.runtime import SimRuntime
+from repro.sim import Simulator
 from repro.storage import DiskProfile
 
 
@@ -131,9 +137,83 @@ def scenario_membership(smoke: bool = False) -> Dict[str, Any]:
     })
 
 
+# Maximum tolerated SimRuntime dispatch overhead vs the bare kernel.
+ADAPTER_OVERHEAD_LIMIT = 0.02
+
+
+def _drive_dispatch(sim: Simulator, chains: int, depth: int) -> float:
+    """Post/schedule/cancel churn shaped like protocol traffic: raw-tuple
+    chains (the Network fast path) plus handle timers that get replaced
+    (the GCS failure-detector pattern).  Returns wall seconds."""
+    remaining = [chains * depth]
+
+    def tick(chain: int) -> None:
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            return
+        sim.post(0.0001, tick, chain)
+        if remaining[0] % 16 == 0:
+            handle = sim.schedule(0.5, _noop)
+            handle.cancel()
+
+    def _noop() -> None:  # pragma: no cover - always cancelled
+        pass
+
+    for chain in range(chains):
+        sim.post(0.0, tick, chain)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def scenario_runtime_adapter(smoke: bool = False) -> Dict[str, Any]:
+    """SimRuntime must be free: same dispatch loop as the bare kernel.
+
+    Interleaved best-of-N of the identical workload on ``Simulator``
+    and ``SimRuntime``; asserts the adapter overhead stays under
+    ``ADAPTER_OVERHEAD_LIMIT``.
+    """
+    chains, depth = (8, 50_000) if smoke else (8, 125_000)
+    rounds = 8
+    walls = {"kernel": [], "adapter": []}
+    sims = {}
+    pair = [("kernel", Simulator), ("adapter", SimRuntime)]
+    for round_index in range(rounds + 1):
+        # Alternate which class runs first: whoever runs second in a
+        # pair consistently pays the other's inline-cache and frequency
+        # -ramp shadow, which alone shows up as a phantom ±2%.
+        for key, sim_cls in (pair if round_index % 2 == 0
+                             else list(reversed(pair))):
+            sim = sim_cls()
+            wall = _drive_dispatch(sim, chains, depth)
+            if round_index > 0:       # round 0 is cache warmup, discarded
+                walls[key].append(wall)
+            sims[key] = sim
+    if sims["kernel"].events_processed != sims["adapter"].events_processed:
+        raise SystemExit(
+            f"SimRuntime dispatched a different event count than the "
+            f"kernel: {sims['adapter'].events_processed} vs "
+            f"{sims['kernel'].events_processed}")
+    kernel_wall = min(walls["kernel"])
+    adapter_wall = min(walls["adapter"])
+    overhead = adapter_wall / kernel_wall - 1.0
+    if overhead > ADAPTER_OVERHEAD_LIMIT:
+        raise SystemExit(
+            f"SimRuntime adapter overhead {overhead * 100:.2f}% exceeds "
+            f"the {ADAPTER_OVERHEAD_LIMIT * 100:.0f}% budget "
+            f"(kernel {kernel_wall:.4f}s vs adapter {adapter_wall:.4f}s)")
+    return _stats(adapter_wall, [sims["adapter"]], extra={
+        "kernel_wall_seconds": round(kernel_wall, 4),
+        "adapter_wall_seconds": round(adapter_wall, 4),
+        "adapter_overhead_pct": round(overhead * 100, 2),
+        "overhead_limit_pct": ADAPTER_OVERHEAD_LIMIT * 100,
+    })
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "fig5a_throughput": scenario_fig5a,
     "membership_cost": scenario_membership,
+    "runtime_adapter": scenario_runtime_adapter,
 }
 
 

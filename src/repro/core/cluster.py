@@ -8,12 +8,13 @@ assertions that encode the paper's correctness theorems.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..db import ActionId
 from ..gcs import GcsSettings
 from ..net import Network, NetworkProfile, Topology
-from ..sim import RandomStreams, Simulator, Tracer
+from ..runtime import SimRuntime
+from ..sim import RandomStreams, Tracer
 from ..storage import DiskProfile
 from .client import Client
 from .engine import EngineConfig
@@ -35,14 +36,17 @@ class ReplicaCluster:
                  trace: bool = False):
         self.server_ids = (list(server_ids) if server_ids is not None
                            else list(range(1, n + 1)))
-        self.sim = Simulator()
+        # The deterministic Runtime; `sim` is also reachable as
+        # `runtime` for symmetry with LiveCluster.
+        self.sim = SimRuntime()
+        self.runtime = self.sim
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(enabled=trace)
         self.topology = Topology(self.server_ids)
         self.network = Network(self.sim, self.topology, network_profile,
                                rng=self.streams.stream("network"),
                                tracer=self.tracer)
-        self.directory: set = set(self.server_ids)
+        self.directory: Set[int] = set(self.server_ids)
         self.gcs_settings = gcs_settings or GcsSettings()
         self.disk_profile = disk_profile
         self.engine_config_factory = (

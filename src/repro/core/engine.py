@@ -26,11 +26,11 @@ Faithfulness notes (pseudo-code references in parentheses):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..db import Action, ActionId, ActionType, Database
 from ..gcs import Configuration, GroupChannel, ServiceLevel, ViewId
-from ..sim import Simulator, Tracer
+from ..sim import Tracer
 from ..storage import StableStore
 from .action_queue import ActionQueue
 from .knowledge import (Knowledge, RetransPlan, compute_knowledge,
@@ -39,6 +39,9 @@ from .messages import EngineActionMsg, EngineCpcMsg, EngineStateMsg
 from .quorum import DynamicLinearVoting, QuorumPolicy
 from .records import PrimComponent, Vulnerable, Yellow
 from .state_machine import EngineState, check_transition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime
 
 
 @dataclass
@@ -84,7 +87,7 @@ class EngineHooks:
 class ReplicationEngine:
     """The replication algorithm of Amir & Tutu, one instance per node."""
 
-    def __init__(self, sim: Simulator, server_id: int,
+    def __init__(self, sim: "Runtime", server_id: int,
                  channel: GroupChannel, store: StableStore,
                  database: Database, server_ids: List[int],
                  config: Optional[EngineConfig] = None,

@@ -18,11 +18,13 @@ can also be inserted administratively for a dead replica.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..db import (Action, ActionId, SnapshotChunk, SnapshotReceiver,
                   SnapshotSender, join_action, leave_action)
-from ..sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime
 
 
 # ----------------------------------------------------------------------
@@ -147,7 +149,7 @@ class JoinerProtocol:
     replicated group (CodeSegment 5.2 line 29-30).
     """
 
-    def __init__(self, sim: Simulator, replica: "Any", peers: List[int],
+    def __init__(self, sim: "Runtime", replica: "Any", peers: List[int],
                  on_ready: Callable[[TransferHeader], None],
                  retry_interval: float = 1.0):
         self.sim = sim

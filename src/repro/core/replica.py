@@ -10,18 +10,22 @@ components running on a node ... is treated as a global node crash".
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Set, Tuple)
 
 from ..db import Action, ActionId, ActionType, Database, DirtyView
 from ..gcs import (GcsDaemon, GcsSettings, GroupChannel,
                    ReliableChannelEndpoint)
-from ..net import Datagram, Network
-from ..sim import ServiceQueue, Simulator, Timer, Tracer
+from ..net import Datagram
+from ..sim import ServiceQueue, Timer, Tracer
 from ..storage import DiskProfile, SimulatedDisk, StableStore, WriteAheadLog
 from .engine import EngineConfig, EngineHooks, ReplicationEngine
 from .recovery import recover_engine
 from .reconfig import JoinRequest, RepresentativeRole, make_leave_action
 from .state_machine import EngineState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime, Transport
 
 Completion = Callable[[Action, int, Any], None]
 
@@ -52,8 +56,8 @@ class _ReplicaHooks(EngineHooks):
 class Replica:
     """One node of the replicated database system."""
 
-    def __init__(self, sim: Simulator, node: int, network: Network,
-                 directory: set, server_ids: List[int],
+    def __init__(self, sim: "Runtime", node: int, network: "Transport",
+                 directory: Set[int], server_ids: List[int],
                  disk_profile: Optional[DiskProfile] = None,
                  gcs_settings: Optional[GcsSettings] = None,
                  engine_config: Optional[EngineConfig] = None,

@@ -13,10 +13,13 @@ windows.  Duplicates are filtered, delivery is in send order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-from ..net import Datagram, Network
-from ..sim import Actor, Simulator
+from ..net import Datagram
+from ..sim import Actor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime, Transport
 
 
 @dataclass(frozen=True)
@@ -57,7 +60,7 @@ class ReliableChannelEndpoint(Actor):
     dispatches ChanData/ChanAck datagrams to :meth:`on_datagram`.
     """
 
-    def __init__(self, sim: Simulator, node: int, network: Network,
+    def __init__(self, sim: "Runtime", node: int, network: "Transport",
                  on_message: Callable[[int, Any], None],
                  retransmit_interval: float = 0.05):
         super().__init__(sim, name=f"chan{node}")

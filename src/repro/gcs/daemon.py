@@ -25,10 +25,14 @@ computes per-member transitional configurations.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List,
+                    Optional, Set, Tuple)
 
-from ..net import Datagram, Network
-from ..sim import Actor, Simulator, Tracer
+from ..net import Datagram
+from ..sim import Actor, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime, Transport
 from .ordering import ViewOrdering
 from .types import (AckMsg, Configuration, DataMsg, FlushDoneMsg,
                     FlushPlanMsg, FlushRetransCmd, GatherMsg, GcsSettings,
@@ -66,7 +70,7 @@ class DaemonState:
 class GcsDaemon(Actor):
     """One node's group communication endpoint."""
 
-    def __init__(self, sim: Simulator, node: int, network: Network,
+    def __init__(self, sim: "Runtime", node: int, network: "Transport",
                  directory: Set[int],
                  settings: Optional[GcsSettings] = None,
                  tracer: Optional[Tracer] = None,

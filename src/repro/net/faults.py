@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
-from ..sim import Simulator
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime
 
 
 @dataclass(frozen=True)
@@ -79,16 +81,21 @@ class FaultScript:
         self.events.append(FaultEvent(time, "isolate", node))
         return self
 
-    def install(self, sim: Simulator, topology: Topology,
+    def install(self, sim: "Runtime", topology: Topology,
                 on_event: Optional[Callable[[FaultEvent], None]] = None
                 ) -> None:
-        """Schedule every event on ``sim`` against ``topology``."""
+        """Schedule every event on ``sim`` against ``topology``.
+
+        Events are fire-and-forget, so they go through the no-handle
+        ``post_at`` fast path rather than ``schedule_at`` (whose
+        cancellation handle nobody would keep).
+        """
         for event in sorted(self.events, key=lambda e: e.time):
             def fire(ev: FaultEvent = event) -> None:
                 ev.apply(topology)
                 if on_event is not None:
                     on_event(ev)
-            sim.schedule_at(event.time, fire)
+            sim.post_at(event.time, fire)
 
 
 def random_partition(nodes: Sequence[int], rng: random.Random

@@ -43,7 +43,18 @@ class _Port:
 
 
 class Network:
-    """Datagram fabric over a :class:`Topology`."""
+    """Datagram fabric over a :class:`Topology`.
+
+    This is the simulated implementation of the
+    :class:`~repro.runtime.base.Transport` protocol — the live
+    counterparts are :class:`~repro.runtime.MemoryTransport` and
+    :class:`~repro.runtime.AsyncioTransport`.  Unlike the protocol
+    layers above it, ``Network`` deliberately takes the concrete
+    :class:`~repro.sim.kernel.Simulator` rather than the abstract
+    Runtime: its delivery path pushes raw event tuples straight onto
+    the kernel heap (see ``_send_batch``), which is the hottest loop in
+    every throughput figure and must not pay a protocol indirection.
+    """
 
     def __init__(self, sim: Simulator, topology: Topology,
                  profile: Optional[NetworkProfile] = None,

@@ -1,0 +1,37 @@
+"""Execution runtimes for the replication stack.
+
+The protocol layers (engine, GCS daemon, storage) are written against
+two narrow protocols — :class:`Runtime` (clock + timers) and
+:class:`Transport` (datagram fabric) — and this package provides both
+production pairs:
+
+============================  =========================================
+deterministic (virtual time)  :class:`SimRuntime` +
+                              :class:`repro.net.Network`
+live (wall-clock, asyncio)    :class:`AsyncioRuntime` +
+                              :class:`AsyncioTransport` (UDP) or
+                              :class:`MemoryTransport` (in-process)
+============================  =========================================
+
+:class:`LiveCluster` is the asyncio counterpart of
+:class:`repro.core.ReplicaCluster`; ``examples/live_cluster.py`` drives
+a real three-process deployment with it.
+"""
+
+from .asyncio_runtime import AsyncioHandle, AsyncioRuntime
+from .base import Handle, Runtime, Transport
+from .cluster import (LiveCluster, LiveClusterTimeout, live_disk_profile,
+                      live_gcs_settings, udp_cluster)
+from .sim_runtime import SimRuntime
+from .transport import (AsyncioTransport, MemoryTransport, PartitionFilter,
+                        loopback_addresses)
+
+__all__ = [
+    "Runtime", "Handle", "Transport",
+    "SimRuntime",
+    "AsyncioRuntime", "AsyncioHandle",
+    "MemoryTransport", "AsyncioTransport", "PartitionFilter",
+    "loopback_addresses",
+    "LiveCluster", "LiveClusterTimeout", "udp_cluster",
+    "live_gcs_settings", "live_disk_profile",
+]

@@ -1,0 +1,181 @@
+"""Wall-clock runtime on a real asyncio event loop.
+
+Implements the :class:`~repro.runtime.base.Runtime` protocol over
+``asyncio``: ``now`` is the loop's monotonic clock re-based to zero at
+runtime creation, timers map onto ``loop.call_later``/``call_at``, and
+``call_soon`` preserves the kernel's FIFO-at-now semantics via the
+loop's ready queue.
+
+Semantics mirror :class:`~repro.sim.kernel.Simulator` where the
+protocol stack can observe the difference:
+
+* ``post``/``post_at`` allocate no handle and cannot be cancelled;
+* ``schedule`` returns a handle whose ``active`` flag drops when the
+  callback fires, not merely when it is cancelled (the GCS timers poll
+  ``armed``);
+* negative delays raise :class:`~repro.sim.kernel.SimulationError`
+  exactly like the kernel, so timer misuse fails identically under
+  both runtimes.
+
+One deliberate divergence: ``post_at``/``schedule_at`` with a time in
+the past *clamp to now* instead of raising.  Virtual time never drifts,
+wall-clock time always does; a live component computing an absolute
+deadline from a slightly stale ``now`` must not crash the node.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from ..sim.kernel import SimulationError
+
+Callback = Callable[..., None]
+
+
+class AsyncioHandle:
+    """Cancellable reference to a callback scheduled on the loop.
+
+    Mirrors :class:`~repro.sim.kernel.EventHandle`: ``active`` is False
+    once the callback fired or was cancelled.
+    """
+
+    __slots__ = ("_timer", "_cancelled", "_fired")
+
+    def __init__(self) -> None:
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        if not self._cancelled:
+            self._cancelled = True
+            if self._timer is not None:
+                self._timer.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else (
+            "fired" if self._fired else "pending")
+        return f"<AsyncioHandle {state}>"
+
+
+class AsyncioRuntime:
+    """The :class:`Runtime` protocol over a live asyncio event loop.
+
+    Construct it inside a running loop (or pass one explicitly); drive
+    it with ordinary ``await asyncio.sleep(...)`` — the loop itself is
+    the dispatch engine, there is no ``run()`` to call.  ``stop()``
+    flips :attr:`stopped` (an :class:`asyncio.Event`) so a host harness
+    awaiting :meth:`wait_stopped` can shut the deployment down.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._origin = self._loop.time()
+        self._events_processed = 0
+        self.stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Seconds since this runtime was created (monotonic)."""
+        return self._loop.time() - self._origin
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def events_processed(self) -> int:
+        """Callbacks dispatched through this runtime so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def post(self, delay: float, callback: Callback, *args: Any) -> None:
+        """Fire-and-forget ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._loop.call_later(delay, self._dispatch, callback, args)
+
+    def post_at(self, time: float, callback: Callback, *args: Any) -> None:
+        """Fire-and-forget at absolute runtime time ``time`` (clamped to
+        now if the wall clock already passed it)."""
+        when = self._origin + time
+        loop_now = self._loop.time()
+        self._loop.call_at(when if when > loop_now else loop_now,
+                           self._dispatch, callback, args)
+
+    def schedule(self, delay: float, callback: Callback,
+                 *args: Any) -> AsyncioHandle:
+        """Cancellable ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        handle = AsyncioHandle()
+        handle._timer = self._loop.call_later(
+            delay, self._dispatch_handle, handle, callback, args)
+        return handle
+
+    def schedule_at(self, time: float, callback: Callback,
+                    *args: Any) -> AsyncioHandle:
+        """Cancellable schedule at absolute runtime time ``time``."""
+        handle = AsyncioHandle()
+        when = self._origin + time
+        loop_now = self._loop.time()
+        handle._timer = self._loop.call_at(
+            when if when > loop_now else loop_now,
+            self._dispatch_handle, handle, callback, args)
+        return handle
+
+    def call_soon(self, callback: Callback, *args: Any) -> AsyncioHandle:
+        """Run ``callback(*args)`` after everything already queued for
+        now.  FIFO among ``call_soon`` callers, like the kernel."""
+        handle = AsyncioHandle()
+        handle._timer = self._loop.call_soon(  # type: ignore[assignment]
+            self._dispatch_handle, handle, callback, args)
+        return handle
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, callback: Callback, args: tuple) -> None:
+        self._events_processed += 1
+        callback(*args)
+
+    def _dispatch_handle(self, handle: AsyncioHandle, callback: Callback,
+                         args: tuple) -> None:
+        if handle._cancelled:
+            return
+        handle._fired = True
+        self._events_processed += 1
+        callback(*args)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Signal the hosting harness to shut down (sets :attr:`stopped`)."""
+        self.stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self.stopped.wait()
+
+    async def sleep(self, duration: float) -> None:
+        """Let the deployment run for ``duration`` wall-clock seconds."""
+        await asyncio.sleep(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<AsyncioRuntime now={self.now:.6f} "
+                f"processed={self._events_processed}>")

@@ -1,0 +1,297 @@
+"""Live :class:`~repro.runtime.base.Transport` implementations.
+
+Two backends for the asyncio runtime:
+
+* :class:`MemoryTransport` — all nodes in one process, datagrams handed
+  across through the runtime's timer queue with a small configurable
+  latency.  No sockets, no serialization; the backend of choice for
+  conformance tests and single-process live clusters.
+* :class:`AsyncioTransport` — real UDP sockets (one per hosted node,
+  loopback or LAN), pickle-framed datagrams, non-blocking receive via
+  ``loop.add_reader``.  A process hosts any subset of the cluster's
+  nodes; the address map names them all.
+
+Both support *software partitions*: a partition map assigned with
+``partition(groups)`` drops datagrams crossing group boundaries — at
+send time and again at delivery time, mirroring the simulated fabric's
+semantics (a partition cuts messages already in flight).  In a
+multi-process deployment every process installs the same partition
+schedule locally; there is no hidden global coordinator.
+
+UDP is lossy by nature and these transports make no reliability
+promises — exactly the contract the GCS daemon's NACK and flush
+machinery is built for.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.message import Datagram
+from .asyncio_runtime import AsyncioRuntime
+
+Handler = Callable[[Datagram], None]
+
+# Practical UDP payload ceiling on loopback (the kernel fragments up to
+# 64 KiB; snapshot chunks are 8 KiB, so this is headroom, not a limit
+# the protocol layers ever approach).
+_MAX_DGRAM = 60000
+
+
+class PartitionFilter:
+    """Software reachability: node -> component id, empty = connected."""
+
+    def __init__(self) -> None:
+        self._component: Dict[int, int] = {}
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Split the cluster; nodes absent from every group form their
+        own implicit singleton components."""
+        self._component = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                self._component[node] = index
+
+    def heal(self) -> None:
+        self._component = {}
+
+    def allows(self, src: int, dst: int) -> bool:
+        if src == dst or not self._component:
+            return True
+        a = self._component.get(src, -1 - src)
+        b = self._component.get(dst, -1 - dst)
+        return a == b
+
+
+class MemoryTransport:
+    """In-process datagram fabric over an :class:`AsyncioRuntime`.
+
+    Every hosted node shares this object; a send posts the delivery
+    callback ``latency`` seconds ahead on the runtime.  Reachability is
+    checked at send *and* delivery time so a partition installed while
+    a datagram is in flight still cuts it.
+    """
+
+    def __init__(self, runtime: AsyncioRuntime, latency: float = 0.0002):
+        self.runtime = runtime
+        self.latency = latency
+        self.filter = PartitionFilter()
+        self._handlers: Dict[int, Handler] = {}
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+        self.bytes_sent = 0
+
+    # -- attachment -----------------------------------------------------
+    def attach(self, node: int, handler: Handler) -> None:
+        self._handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        self._handlers.pop(node, None)
+
+    def is_attached(self, node: int) -> bool:
+        return node in self._handlers
+
+    # -- partitions -----------------------------------------------------
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        self.filter.partition(groups)
+
+    def heal(self) -> None:
+        self.filter.heal()
+
+    # -- sending --------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any,
+             size: int = 200) -> None:
+        self.multicast(src, (dst,), payload, size)
+
+    def multicast(self, src: int, dsts: Iterable[int], payload: Any,
+                  size: int = 200) -> None:
+        if src not in self._handlers:
+            return
+        now = self.runtime.now
+        for dst in dsts:
+            self.datagrams_sent += 1
+            self.bytes_sent += size
+            if not self.filter.allows(src, dst):
+                self.datagrams_dropped += 1
+                continue
+            self.runtime.post(self.latency, self._deliver,
+                              Datagram(src, dst, payload, size, now))
+
+    def _deliver(self, datagram: Datagram) -> None:
+        if not self.filter.allows(datagram.src, datagram.dst):
+            self.datagrams_dropped += 1
+            return
+        handler = self._handlers.get(datagram.dst)
+        if handler is None:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_delivered += 1
+        handler(datagram)
+
+
+class AsyncioTransport:
+    """UDP datagram fabric: one socket per *hosted* node.
+
+    ``addresses`` maps every node id in the deployment to its
+    ``(host, port)``.  :meth:`open` binds the socket for a locally
+    hosted node (synchronously — sockets are non-blocking and reads are
+    dispatched through ``loop.add_reader``); ``attach`` then binds the
+    receive handler.  Pre-bound sockets can be injected instead
+    (``open(node, sock=...)``), which lets a parent process bind all
+    ports race-free and fork the cluster.
+
+    Wire format: ``pickle((src, dst, size, payload))``.  Pickle is
+    acceptable here for the same reason it is in multiprocessing:
+    every endpoint is part of one trusted deployment.  Do not expose
+    these ports to untrusted networks.
+    """
+
+    def __init__(self, runtime: AsyncioRuntime,
+                 addresses: Dict[int, Tuple[str, int]]):
+        self.runtime = runtime
+        self.addresses = dict(addresses)
+        self.filter = PartitionFilter()
+        self._handlers: Dict[int, Handler] = {}
+        self._sockets: Dict[int, socket.socket] = {}
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+        self.bytes_sent = 0
+
+    # -- socket lifecycle ----------------------------------------------
+    def open(self, node: int,
+             sock: Optional[socket.socket] = None) -> None:
+        """Bind (or adopt) the UDP socket for a locally hosted node."""
+        if node in self._sockets:
+            return
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(self.addresses[node])
+        sock.setblocking(False)
+        self.addresses[node] = sock.getsockname()
+        self._sockets[node] = sock
+        self.runtime.loop.add_reader(sock.fileno(), self._on_readable,
+                                     node, sock)
+
+    def close(self) -> None:
+        """Close every hosted socket (end of deployment)."""
+        for node, sock in self._sockets.items():
+            try:
+                self.runtime.loop.remove_reader(sock.fileno())
+            except (ValueError, OSError):  # pragma: no cover - shutdown
+                pass
+            sock.close()
+        self._sockets = {}
+        self._handlers = {}
+
+    # -- attachment -----------------------------------------------------
+    def attach(self, node: int, handler: Handler) -> None:
+        if node not in self._sockets:
+            self.open(node)
+        self._handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        """Silence a node; the socket stays bound for a later recover."""
+        self._handlers.pop(node, None)
+
+    def is_attached(self, node: int) -> bool:
+        return node in self._handlers
+
+    # -- partitions -----------------------------------------------------
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        self.filter.partition(groups)
+
+    def heal(self) -> None:
+        self.filter.heal()
+
+    # -- sending --------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any,
+             size: int = 200) -> None:
+        self.multicast(src, (dst,), payload, size)
+
+    def multicast(self, src: int, dsts: Iterable[int], payload: Any,
+                  size: int = 200) -> None:
+        sock = self._sockets.get(src)
+        if sock is None or src not in self._handlers:
+            return
+        blob: Optional[bytes] = None
+        for dst in dsts:
+            self.datagrams_sent += 1
+            self.bytes_sent += size
+            if not self.filter.allows(src, dst):
+                self.datagrams_dropped += 1
+                continue
+            if dst == src:
+                # Loopback without a kernel round-trip, but still
+                # asynchronous: the handler runs on a later loop tick,
+                # never re-entrantly inside the send.
+                self.runtime.loop.call_soon(
+                    self._local_deliver,
+                    Datagram(src, dst, payload, size, self.runtime.now))
+                continue
+            addr = self.addresses.get(dst)
+            if addr is None:
+                self.datagrams_dropped += 1
+                continue
+            if blob is None:
+                blob = pickle.dumps((src, size, payload),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                if len(blob) > _MAX_DGRAM:
+                    raise ValueError(
+                        f"datagram payload too large for UDP: "
+                        f"{len(blob)} bytes ({type(payload).__name__})")
+            try:
+                sock.sendto(blob, addr)
+            except OSError:
+                # Full socket buffer or transient network error: UDP
+                # semantics say drop; the GCS NACK path recovers.
+                self.datagrams_dropped += 1
+
+    def _local_deliver(self, datagram: Datagram) -> None:
+        if not self.filter.allows(datagram.src, datagram.dst):
+            self.datagrams_dropped += 1
+            return
+        handler = self._handlers.get(datagram.dst)
+        if handler is None:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_delivered += 1
+        handler(datagram)
+
+    # -- receiving ------------------------------------------------------
+    def _on_readable(self, node: int, sock: socket.socket) -> None:
+        # Drain everything ready; add_reader fires once per readability
+        # edge, not once per datagram.
+        while True:
+            try:
+                blob, _addr = sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover - socket torn down
+                return
+            try:
+                src, size, payload = pickle.loads(blob)
+            except Exception:  # pragma: no cover - malformed datagram
+                self.datagrams_dropped += 1
+                continue
+            if not self.filter.allows(src, node):
+                self.datagrams_dropped += 1
+                continue
+            handler = self._handlers.get(node)
+            if handler is None:
+                self.datagrams_dropped += 1
+                continue
+            self.datagrams_delivered += 1
+            handler(Datagram(src, node, payload, size, self.runtime.now))
+
+
+def loopback_addresses(server_ids: Sequence[int],
+                       host: str = "127.0.0.1") -> Dict[int, Tuple[str, int]]:
+    """Bind-to-zero address map: every node on an OS-assigned loopback
+    port.  Useful for single-process deployments; multi-process ones
+    should bind sockets in the parent (``AsyncioTransport.open(node,
+    sock=...)``) so children agree on the ports."""
+    return {node: (host, 0) for node in server_ids}

@@ -1,18 +1,24 @@
 """Actor and timer helpers on top of the simulation kernel.
 
 Protocol components (GCS daemons, replication engines, disks) are
-long-lived actors that own timers.  ``Timer`` wraps an
-:class:`~repro.sim.kernel.EventHandle` with restart/stop semantics, and
+long-lived actors that own timers.  ``Timer`` wraps a cancellable
+:class:`~repro.runtime.base.Handle` with restart/stop semantics, and
 ``Actor`` provides a namespace for timers so a crashing node can cancel
 everything it scheduled in one call (a crash must erase volatile state
 *and* silence future callbacks).
+
+Despite living under ``repro.sim``, these helpers are runtime-agnostic:
+they only use the :class:`~repro.runtime.base.Runtime` protocol
+(``now``, ``schedule``), so the same timers drive a node under the
+discrete-event kernel and under :class:`~repro.runtime.AsyncioRuntime`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
-from .kernel import EventHandle, Simulator
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Handle, Runtime
 
 
 class Timer:
@@ -23,7 +29,7 @@ class Timer:
     ``interval`` seconds until stopped.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], None],
+    def __init__(self, sim: "Runtime", callback: Callable[[], None],
                  interval: float, periodic: bool = False):
         if interval < 0:
             raise ValueError(f"negative timer interval: {interval}")
@@ -31,7 +37,7 @@ class Timer:
         self._callback = callback
         self.interval = interval
         self.periodic = periodic
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional["Handle"] = None
 
     @property
     def armed(self) -> bool:
@@ -69,7 +75,7 @@ class ServiceQueue:
     saturates when R * cost reaches 1.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: "Runtime"):
         self._sim = sim
         self._free_at = 0.0
 
@@ -94,7 +100,7 @@ class Actor:
     silences every timer at once (used on crash).
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: "Runtime", name: str = ""):
         self.sim = sim
         self.name = name or type(self).__name__
         self._timers: Dict[str, Timer] = {}
@@ -113,7 +119,7 @@ class Actor:
             timer.stop()
 
     def after(self, delay: float, callback: Callable[..., None],
-              *args: Any) -> EventHandle:
+              *args: Any) -> "Handle":
         """Schedule a raw one-shot callback (not tracked by cancel_all)."""
         return self.sim.schedule(delay, callback, *args)
 

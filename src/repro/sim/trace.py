@@ -4,12 +4,20 @@ Components emit typed trace records (node, category, payload) to a shared
 ``Tracer``.  Tests assert on traces instead of scraping logs; benchmarks
 use them to count messages and disk writes.  Tracing is cheap when
 disabled: ``Tracer(enabled=False)`` drops records without formatting.
+
+Retention is unbounded by default — simulation tests want every record —
+but long-lived deployments (the asyncio runtime's ``LiveCluster``) pass
+``max_records`` to cap memory: the record store becomes a ring buffer
+that discards the oldest entries.  Category counters are exact either
+way; only the kept records are windowed.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (Any, Callable, Dict, Iterator, List, MutableSequence,
+                    Optional)
 
 
 @dataclass(frozen=True)
@@ -29,10 +37,17 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` objects and dispatches subscribers."""
 
-    def __init__(self, enabled: bool = True, keep: bool = True):
+    def __init__(self, enabled: bool = True, keep: bool = True,
+                 max_records: Optional[int] = None):
         self.enabled = enabled
         self.keep = keep
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord]
+        if max_records is None:
+            self.records = []
+        else:
+            self.records = deque(maxlen=max_records)
+        self.dropped = 0
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._counters: Dict[str, int] = {}
 
@@ -43,6 +58,9 @@ class Tracer:
         self._counters[category] = self._counters.get(category, 0) + 1
         record = TraceRecord(time, node, category, detail)
         if self.keep:
+            if (self.max_records is not None
+                    and len(self.records) == self.max_records):
+                self.dropped += 1
             self.records.append(record)
         for subscriber in self._subscribers:
             subscriber(record)
@@ -67,3 +85,4 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self._counters.clear()
+        self.dropped = 0

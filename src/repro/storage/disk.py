@@ -18,9 +18,12 @@ durability: a crash loses them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
-from ..sim import Simulator, Tracer
+from ..sim import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.base import Runtime
 
 Callback = Callable[[], None]
 
@@ -71,7 +74,7 @@ class SimulatedDisk:
     requests without invoking their callbacks.
     """
 
-    def __init__(self, sim: Simulator, node: int,
+    def __init__(self, sim: "Runtime", node: int,
                  profile: Optional[DiskProfile] = None,
                  tracer: Optional[Tracer] = None):
         self.sim = sim

@@ -8,6 +8,15 @@ line:
 
     python -m repro.tools.scenario my_scenario.json
 
+A scenario can also be replayed on the live asyncio runtime
+(``"runtime": "asyncio"`` in the spec, or ``--runtime asyncio`` on the
+command line): the same steps then execute against a
+:class:`~repro.runtime.LiveCluster` in wall-clock time.  Crash,
+recover, join, and leave steps are simulator-only (the live in-process
+harness has no process supervisor); everything else — submit, run,
+partition, heal, converged/key checks — behaves identically, which is
+the point of the Runtime/Transport seam.
+
 Scenario format::
 
     {
@@ -34,6 +43,7 @@ Scenario format::
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -176,9 +186,122 @@ class ScenarioRunner:
             f"[{self.cluster.sim.now:9.3f}] {message}")
 
 
-def run_scenario(spec: Dict[str, Any]) -> ScenarioReport:
-    """Run a scenario spec; raises ScenarioError on failed checks."""
-    return ScenarioRunner(spec).run()
+class LiveScenarioRunner:
+    """Replays a scenario on the asyncio runtime (:class:`LiveCluster`).
+
+    Time steps (`run`, settles) are wall-clock seconds; keep live
+    scenarios short.  Simulator-only ops raise :class:`ScenarioError`.
+    """
+
+    _UNSUPPORTED = frozenset({"crash", "recover", "join", "leave"})
+
+    def __init__(self, spec: Dict[str, Any]):
+        self.spec = spec
+        self.report = ScenarioReport()
+        self._completions = 0
+
+    def run(self) -> ScenarioReport:
+        return asyncio.run(self._run())
+
+    async def _run(self) -> ScenarioReport:
+        from ..core.state_machine import EngineState
+        from ..runtime import LiveCluster
+        n = int(self.spec.get("replicas", 3))
+        self.cluster = LiveCluster(list(range(1, n + 1)))
+        self.cluster.start_all()
+        settle = float(self.spec.get("settle", 2.0))
+        await self.cluster.wait_all_engine_state(
+            EngineState.REG_PRIM, timeout=max(10.0, settle * 5))
+        try:
+            for step in self.spec.get("steps", []):
+                await self._apply(step)
+                self.report.steps_executed += 1
+            self.report.completions = self._completions
+            self.report.final_states = self.cluster.states()
+            self.report.final_green_counts = self.cluster.green_counts()
+        finally:
+            self.cluster.shutdown()
+        return self.report
+
+    async def _apply(self, step: Dict[str, Any]) -> None:
+        op = step.get("op")
+        if op in self._UNSUPPORTED:
+            raise ScenarioError(
+                f"op {op!r} is simulator-only; not available under "
+                f"the asyncio runtime")
+        if op == "submit":
+            node = int(step["node"])
+            update = tuple(step["update"])
+            self.report.submissions += 1
+
+            def complete(_a, _p, _r):
+                self._completions += 1
+
+            self.cluster.submit(node, update, on_complete=complete)
+            self._log(f"submit at {node}: {update}")
+        elif op == "run":
+            await self.cluster.run_for(float(step.get("seconds", 1.0)))
+        elif op == "partition":
+            groups = [list(map(int, g)) for g in step["groups"]]
+            self.cluster.partition(*groups)
+            await self.cluster.run_for(float(step.get("settle", 1.0)))
+            self._log(f"partition {groups}")
+        elif op == "heal":
+            self.cluster.heal()
+            await self.cluster.run_for(float(step.get("settle", 2.0)))
+            self._log("heal")
+        elif op == "check":
+            self._check(step)
+        else:
+            raise ScenarioError(f"unknown op {op!r}")
+
+    def _check(self, step: Dict[str, Any]) -> None:
+        kind = step.get("kind")
+        try:
+            if kind == "converged":
+                self.cluster.assert_converged()
+            elif kind == "prefix":
+                # Live clusters never truncate mid-scenario, so prefix
+                # consistency collapses to common-prefix of green orders;
+                # converged is the stronger live check.
+                self.cluster.assert_same_green_order()
+            elif kind == "key":
+                node = int(step["node"])
+                value = self.cluster.replicas[node].database.state.get(
+                    step["key"])
+                if value != step["value"]:
+                    raise AssertionError(
+                        f"{step['key']!r} at {node} is {value!r}, "
+                        f"expected {step['value']!r}")
+            else:
+                raise ScenarioError(
+                    f"check kind {kind!r} not supported under the "
+                    f"asyncio runtime")
+        except AssertionError as failure:
+            raise ScenarioError(f"check {kind!r} failed: {failure}") \
+                from failure
+        self.report.checks_passed += 1
+        self._log(f"check {kind}: ok")
+
+    def _log(self, message: str) -> None:
+        self.report.events.append(
+            f"[{self.cluster.runtime.now:9.3f}] {message}")
+
+
+def run_scenario(spec: Dict[str, Any],
+                 runtime: Optional[str] = None) -> ScenarioReport:
+    """Run a scenario spec; raises ScenarioError on failed checks.
+
+    ``runtime`` (or the spec's ``"runtime"`` key) selects the execution
+    substrate: ``"sim"`` (default, deterministic virtual time) or
+    ``"asyncio"`` (live wall-clock run on a :class:`LiveCluster`).
+    """
+    chosen = runtime or spec.get("runtime", "sim")
+    if chosen == "sim":
+        return ScenarioRunner(spec).run()
+    if chosen == "asyncio":
+        return LiveScenarioRunner(spec).run()
+    raise ScenarioError(f"unknown runtime {chosen!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -188,10 +311,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("spec", help="path to the scenario JSON file")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    parser.add_argument("--runtime", choices=("sim", "asyncio"),
+                        default=None,
+                        help="execution substrate (default: spec's "
+                             "'runtime' key, else sim)")
     args = parser.parse_args(argv)
     with open(args.spec, encoding="utf-8") as handle:
         spec = json.load(handle)
-    report = run_scenario(spec)
+    report = run_scenario(spec, runtime=args.runtime)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

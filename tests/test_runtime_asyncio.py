@@ -1,0 +1,242 @@
+"""AsyncioRuntime timer semantics: cancel, reschedule, ordering.
+
+The protocol stack relies on a handful of runtime behaviours the kernel
+guarantees (handle ``active`` lifecycle, cancellation, call_soon FIFO,
+negative-delay rejection).  These tests pin the asyncio implementation
+to the same contract.  No pytest-asyncio: each test drives its own loop
+with ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import (AsyncioRuntime, Handle, MemoryTransport,
+                           PartitionFilter, Runtime, SimRuntime, Transport)
+from repro.sim.kernel import SimulationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# protocol conformance (structural)
+# ----------------------------------------------------------------------
+
+def test_both_runtimes_satisfy_the_protocol():
+    async def check():
+        return isinstance(AsyncioRuntime(), Runtime)
+    assert run(check())
+    assert isinstance(SimRuntime(), Runtime)
+
+
+def test_transports_satisfy_the_protocol():
+    async def check():
+        return isinstance(MemoryTransport(AsyncioRuntime()), Transport)
+    assert run(check())
+    from repro.core import ReplicaCluster
+    assert isinstance(ReplicaCluster(n=2).network, Transport)
+
+
+# ----------------------------------------------------------------------
+# timers
+# ----------------------------------------------------------------------
+
+def test_post_fires_after_delay():
+    async def scenario():
+        rt = AsyncioRuntime()
+        fired = []
+        rt.post(0.01, fired.append, "a")
+        rt.post(0.0, fired.append, "b")
+        await asyncio.sleep(0.05)
+        return fired, rt.events_processed
+
+    fired, processed = run(scenario())
+    assert fired == ["b", "a"]
+    assert processed == 2
+
+
+def test_schedule_handle_lifecycle():
+    async def scenario():
+        rt = AsyncioRuntime()
+        fired = []
+        handle = rt.schedule(0.005, fired.append, "x")
+        assert isinstance(handle, Handle)
+        states = [(handle.active, handle.cancelled)]
+        await asyncio.sleep(0.03)
+        states.append((handle.active, handle.cancelled))
+        return fired, states
+
+    fired, states = run(scenario())
+    assert fired == ["x"]
+    # active before firing; inactive (but not cancelled) after.
+    assert states == [(True, False), (False, False)]
+
+
+def test_cancel_prevents_firing():
+    async def scenario():
+        rt = AsyncioRuntime()
+        fired = []
+        handle = rt.schedule(0.005, fired.append, "x")
+        handle.cancel()
+        handle.cancel()      # idempotent
+        await asyncio.sleep(0.03)
+        return fired, handle.active, handle.cancelled, rt.events_processed
+
+    fired, active, cancelled, processed = run(scenario())
+    assert fired == []
+    assert not active and cancelled
+    assert processed == 0
+
+
+def test_reschedule_pattern_replaces_expiry():
+    """The Timer helper's start() pattern: cancel the old handle, arm a
+    new one.  Only the final expiry fires."""
+    async def scenario():
+        rt = AsyncioRuntime()
+        fired = []
+        handle = rt.schedule(0.005, fired.append, "old")
+        handle.cancel()
+        handle = rt.schedule(0.01, fired.append, "new")
+        await asyncio.sleep(0.05)
+        return fired
+
+    assert run(scenario()) == ["new"]
+
+
+def test_timer_helper_runs_on_asyncio():
+    """repro.sim.Timer (used by every protocol actor) is runtime-
+    agnostic: periodic fire + stop on the live loop."""
+    from repro.sim import Timer
+
+    async def scenario():
+        rt = AsyncioRuntime()
+        ticks = []
+        timer = Timer(rt, lambda: ticks.append(rt.now), 0.005,
+                      periodic=True)
+        timer.start()
+        await asyncio.sleep(0.04)
+        timer.stop()
+        count = len(ticks)
+        assert count >= 3
+        await asyncio.sleep(0.02)
+        return count, len(ticks)
+
+    count, after = run(scenario())
+    assert after == count   # no ticks after stop
+
+
+def test_call_soon_fifo_ordering():
+    async def scenario():
+        rt = AsyncioRuntime()
+        order = []
+        rt.call_soon(order.append, 1)
+        rt.call_soon(order.append, 2)
+        rt.call_soon(order.append, 3)
+        await asyncio.sleep(0.01)
+        return order
+
+    assert run(scenario()) == [1, 2, 3]
+
+
+def test_call_soon_cancellable_before_tick():
+    async def scenario():
+        rt = AsyncioRuntime()
+        order = []
+        keep = rt.call_soon(order.append, "keep")
+        drop = rt.call_soon(order.append, "drop")
+        drop.cancel()
+        await asyncio.sleep(0.01)
+        return order, keep.active
+
+    order, keep_active = run(scenario())
+    assert order == ["keep"]
+    assert not keep_active
+
+
+def test_negative_delay_rejected_like_kernel():
+    async def scenario():
+        rt = AsyncioRuntime()
+        with pytest.raises(SimulationError):
+            rt.post(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            rt.schedule(-0.1, lambda: None)
+
+    run(scenario())
+
+
+def test_past_absolute_time_clamps_to_now():
+    """Divergence from the kernel, by design: wall clocks drift, so a
+    stale absolute deadline fires immediately instead of raising."""
+    async def scenario():
+        rt = AsyncioRuntime()
+        fired = []
+        await asyncio.sleep(0.01)
+        rt.post_at(0.0, fired.append, "past")
+        rt.schedule_at(0.0, fired.append, "past2")
+        await asyncio.sleep(0.01)
+        return fired
+
+    assert sorted(run(scenario())) == ["past", "past2"]
+
+
+def test_now_is_monotonic_and_rebased():
+    async def scenario():
+        rt = AsyncioRuntime()
+        first = rt.now
+        await asyncio.sleep(0.01)
+        second = rt.now
+        return first, second
+
+    first, second = run(scenario())
+    assert first < 0.005          # rebased to ~zero at creation
+    assert second > first
+
+
+def test_stop_sets_the_stopped_event():
+    async def scenario():
+        rt = AsyncioRuntime()
+        assert not rt.stopped.is_set()
+        rt.post(0.005, rt.stop)
+        await asyncio.wait_for(rt.wait_stopped(), timeout=1.0)
+        return rt.stopped.is_set()
+
+    assert run(scenario())
+
+
+# ----------------------------------------------------------------------
+# partition filter
+# ----------------------------------------------------------------------
+
+def test_partition_filter_components():
+    f = PartitionFilter()
+    assert f.allows(1, 2)
+    f.partition([[1, 2], [3]])
+    assert f.allows(1, 2) and not f.allows(2, 3)
+    assert f.allows(3, 3)          # self always reachable
+    # a node listed in no group is its own singleton
+    assert not f.allows(1, 4) and not f.allows(4, 5)
+    f.heal()
+    assert f.allows(2, 3) and f.allows(4, 5)
+
+
+def test_memory_transport_partition_cuts_in_flight():
+    async def scenario():
+        rt = AsyncioRuntime()
+        net = MemoryTransport(rt, latency=0.01)
+        got = []
+        net.attach(1, lambda d: got.append(d.payload))
+        net.attach(2, lambda d: got.append(d.payload))
+        net.send(1, 2, "before")       # in flight when the cut lands
+        net.partition([[1], [2]])
+        net.send(1, 2, "during")       # dropped at send time
+        await asyncio.sleep(0.05)
+        net.heal()
+        net.send(1, 2, "after")
+        await asyncio.sleep(0.05)
+        return got, net.datagrams_dropped
+
+    got, dropped = run(scenario())
+    assert got == ["after"]
+    assert dropped == 2

@@ -69,3 +69,21 @@ class TestTracer:
         tracer.clear()
         assert tracer.records == []
         assert tracer.count("cat") == 0
+
+    def test_ring_buffer_caps_retention(self):
+        tracer = Tracer(max_records=3)
+        for i in range(5):
+            tracer.emit(float(i), 1, "cat", i=i)
+        # Oldest two discarded; counters stay exact.
+        assert [r.detail["i"] for r in tracer.records] == [2, 3, 4]
+        assert tracer.dropped == 2
+        assert tracer.count("cat") == 5
+        assert len(list(tracer.select("cat"))) == 3
+        tracer.clear()
+        assert len(tracer.records) == 0 and tracer.dropped == 0
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.emit(float(i), 1, "cat")
+        assert len(tracer.records) == 100 and tracer.dropped == 0
