@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 from repro.baselines import CorelSystem, EngineSystem, TwoPCSystem
 from repro.core import EngineConfig
 from repro.net import lan_profile
+from repro.obs.metrics import LATENCY_BUCKETS, Histogram
 from repro.storage import DiskProfile
 
 N_REPLICAS = 14
@@ -35,14 +36,32 @@ def paper_disk() -> DiskProfile:
     return DiskProfile(forced_write_latency=0.0095)
 
 
-def engine_factory(seed: int = 0, forced_writes: bool = True):
+def engine_factory(seed: int = 0, forced_writes: bool = True,
+                   observability: Optional[Any] = None):
     def build():
         return EngineSystem(
             N_REPLICAS, seed=seed, network_profile=lan_profile(),
             disk_profile=paper_disk(),
             engine_config=EngineConfig(
-                forced_client_writes=forced_writes))
+                forced_client_writes=forced_writes),
+            observability=observability)
     return build
+
+
+def latency_summary(latencies: List[float]) -> Dict[str, float]:
+    """Bucketed latency digest via the observability Histogram (same
+    log-spaced layout the span trackers use), replacing ad-hoc binning
+    in benchmark reports."""
+    histogram = Histogram(LATENCY_BUCKETS)
+    for value in latencies:
+        histogram.observe(value)
+    return {
+        "count": histogram.count,
+        "mean_ms": round(histogram.mean * 1e3, 3),
+        "p50_ms": round(histogram.quantile(0.50) * 1e3, 3),
+        "p95_ms": round(histogram.quantile(0.95) * 1e3, 3),
+        "p99_ms": round(histogram.quantile(0.99) * 1e3, 3),
+    }
 
 
 def corel_factory(seed: int = 0):

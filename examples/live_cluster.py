@@ -12,10 +12,17 @@ the merge.
 
 Run:  python examples/live_cluster.py            # three processes, UDP
       python examples/live_cluster.py --in-process   # one process
+      python examples/live_cluster.py --metrics-port 9100   # + /metrics
 
 The multi-process mode binds all UDP sockets in the parent and forks,
 so children never race for ports.  Exit code 0 means every node
 reported the same green order and database digest.
+
+``--metrics-port`` additionally serves each hosting process's metrics
+registry over HTTP (``/metrics`` Prometheus text, ``/status`` JSON) —
+port 0 binds OS-assigned ports.  Before reporting, every node scrapes
+its own endpoint and structurally lints the exposition text, so a run
+with metrics enabled also validates the export path end to end.
 """
 
 import argparse
@@ -40,13 +47,38 @@ def banner(text):
     print(f"\n=== {text} " + "=" * max(0, 60 - len(text)), flush=True)
 
 
-async def drive_node(node, addresses, sockets, start_at, results):
+async def scrape_own_metrics(cluster, label):
+    """Self-scrape the cluster's HTTP endpoint and lint the exposition
+    text; raises if the scrape would not ingest cleanly."""
+    from repro.obs import fetch_http, lint_prometheus
+
+    server = cluster._metrics_server
+    text = await fetch_http("127.0.0.1", server.port, "/metrics")
+    problems = lint_prometheus(text)
+    if problems:
+        raise AssertionError(f"{label}: /metrics lint: {problems[:3]}")
+    if "repro_engine_green_actions_total" not in text:
+        raise AssertionError(f"{label}: /metrics missing engine counters")
+    await fetch_http("127.0.0.1", server.port, "/status")
+    print(f"{label}: scraped :{server.port}/metrics "
+          f"({len(text.splitlines())} lines, lint clean)", flush=True)
+
+
+async def drive_node(node, addresses, sockets, start_at, results,
+                     metrics_port=None):
     """One node's life: boot, serve, partition, merge, report."""
     from repro.core.state_machine import EngineState
     from repro.runtime import udp_cluster
 
     cluster = udp_cluster(SERVER_IDS, hosted=[node],
                           addresses=addresses, sockets=sockets)
+    if metrics_port is not None:
+        # One endpoint per process; a fixed base port spreads out as
+        # base+node-1, port 0 stays OS-assigned everywhere.
+        port = 0 if metrics_port == 0 else metrics_port + node - 1
+        server = await cluster.serve_metrics(port=port)
+        print(f"node {node}: metrics on 127.0.0.1:{server.port}",
+              flush=True)
     loop = asyncio.get_event_loop()
 
     # Shared start barrier: all processes begin their scripts at the
@@ -73,21 +105,25 @@ async def drive_node(node, addresses, sockets, start_at, results):
 
     # Converge: all 3 nodes x (2 pre + 2 split) actions green everywhere.
     await cluster.wait_green(12, timeout=origin + T_DEADLINE - loop.time())
+    if metrics_port is not None:
+        await scrape_own_metrics(cluster, f"node {node}")
     order = [tuple(a) for a in cluster.green_order(node)]
     digest = cluster.replicas[node].database.digest()
     results.put((node, order, digest))
     cluster.shutdown()
 
 
-def node_process(node, addresses, sockets, start_at, results):
+def node_process(node, addresses, sockets, start_at, results,
+                 metrics_port=None):
     try:
-        asyncio.run(drive_node(node, addresses, sockets, start_at, results))
+        asyncio.run(drive_node(node, addresses, sockets, start_at, results,
+                               metrics_port))
     except Exception as failure:  # pragma: no cover - report, don't hang
         results.put((node, "ERROR", repr(failure)))
         raise
 
 
-def run_multiprocess():
+def run_multiprocess(metrics_port=None):
     banner("three processes, UDP loopback")
     # Parent binds every socket, children inherit them: no port races,
     # and the address map is exact before any process starts.
@@ -109,7 +145,7 @@ def run_multiprocess():
         proc = ctx.Process(
             target=node_process, name=f"replica-{node}",
             args=(node, addresses, {node: sockets[node]}, start_at,
-                  results))
+                  results, metrics_port))
         proc.start()
         workers.append(proc)
     for sock in sockets.values():
@@ -128,13 +164,16 @@ def run_multiprocess():
     return reports
 
 
-def run_in_process():
+def run_in_process(metrics_port=None):
     banner("single process, in-memory transport")
 
     async def main():
         from repro.core.state_machine import EngineState
         from repro.runtime import LiveCluster
         cluster = LiveCluster(SERVER_IDS)
+        if metrics_port is not None:
+            server = await cluster.serve_metrics(port=metrics_port)
+            print(f"metrics on 127.0.0.1:{server.port}", flush=True)
         cluster.start_all()
         await cluster.wait_all_engine_state(EngineState.REG_PRIM, timeout=10)
         for node in SERVER_IDS:
@@ -152,6 +191,8 @@ def run_in_process():
                 cluster.submit(node, ("SET", f"split-{node}-{i}", i))
         cluster.heal()
         await cluster.wait_green(12, timeout=15)
+        if metrics_port is not None:
+            await scrape_own_metrics(cluster, "cluster")
         reports = {node: ([tuple(a) for a in cluster.green_order(node)],
                           cluster.replicas[node].database.digest())
                    for node in SERVER_IDS}
@@ -186,11 +227,16 @@ def main():
     parser.add_argument("--in-process", action="store_true",
                         help="run all replicas on one event loop with the "
                              "in-memory transport (no sockets, no forks)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics and /status per hosting "
+                             "process (0 = OS-assigned ports); each node "
+                             "self-scrapes and lints before reporting")
     args = parser.parse_args()
     if args.in_process:
-        reports = run_in_process()
+        reports = run_in_process(args.metrics_port)
     else:
-        reports = run_multiprocess()
+        reports = run_multiprocess(args.metrics_port)
     return check(reports)
 
 

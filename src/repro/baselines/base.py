@@ -57,11 +57,12 @@ class EngineSystem(ReplicationSystemAPI):
                  network_profile: Optional[NetworkProfile] = None,
                  disk_profile: Optional[DiskProfile] = None,
                  gcs_settings: Optional[GcsSettings] = None,
-                 engine_config: Optional[EngineConfig] = None):
+                 engine_config: Optional[EngineConfig] = None,
+                 observability: Optional[Any] = None):
         self.cluster = ReplicaCluster(
             n=n, seed=seed, network_profile=network_profile,
             disk_profile=disk_profile, gcs_settings=gcs_settings,
-            engine_config=engine_config)
+            engine_config=engine_config, observability=observability)
         if engine_config is not None and not \
                 engine_config.forced_client_writes:
             self.name = "engine-delayed-writes"

@@ -6,6 +6,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+# Canonical percentile lives with the observability instruments; kept
+# importable from here for the benchmark suite's historical call sites.
+from ..obs.metrics import percentile  # noqa: F401  (re-export)
+
 
 @dataclass
 class RunResult:
@@ -29,15 +33,6 @@ class RunResult:
         if self.actions_completed == 0:
             return math.nan
         return self.counters.get(counter, 0.0) / self.actions_completed
-
-
-def percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 1])."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[rank]
 
 
 def summarize(system_name: str, clients: int, duration: float,

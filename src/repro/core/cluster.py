@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..db import ActionId
 from ..gcs import GcsSettings
 from ..net import Network, NetworkProfile, Topology
+from ..obs import Observability
 from ..runtime import SimRuntime
 from ..sim import RandomStreams, Tracer
 from ..storage import DiskProfile
@@ -33,9 +34,14 @@ class ReplicaCluster:
                  disk_profile: Optional[DiskProfile] = None,
                  gcs_settings: Optional[GcsSettings] = None,
                  engine_config: Optional[EngineConfig] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 observability: Optional[Observability] = None):
         self.server_ids = (list(server_ids) if server_ids is not None
                            else list(range(1, n + 1)))
+        # Disabled by default: simulated clusters keep plain counters
+        # but pay nothing for spans/histograms unless asked.
+        self.obs = (observability if observability is not None
+                    else Observability.disabled())
         # The deterministic Runtime; `sim` is also reachable as
         # `runtime` for symmetry with LiveCluster.
         self.sim = SimRuntime()
@@ -66,7 +72,8 @@ class ReplicaCluster:
         return Replica(self.sim, node, self.network, self.directory,
                        list(server_ids), disk_profile=self.disk_profile,
                        gcs_settings=self.gcs_settings,
-                       engine_config=config, tracer=self.tracer)
+                       engine_config=config, tracer=self.tracer,
+                       obs=self.obs)
 
     # ==================================================================
     # lifecycle & fault injection

@@ -25,11 +25,13 @@ Faithfulness notes (pseudo-code references in parentheses):
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..db import Action, ActionId, ActionType, Database
 from ..gcs import Configuration, GroupChannel, ServiceLevel, ViewId
+from ..obs import Observability
 from ..sim import Tracer
 from ..storage import StableStore
 from .action_queue import ActionQueue
@@ -64,6 +66,57 @@ class EngineConfig:
     quorum: QuorumPolicy = field(default_factory=DynamicLinearVoting)
 
 
+#: stats key -> (metric name, help); the engine's protocol counters now
+#: live in the metrics registry, and :class:`EngineStats` keeps the
+#: historical ``engine.stats`` dict interface as a read-only view.
+ENGINE_COUNTERS = {
+    "greens": ("repro_engine_green_actions_total",
+               "Actions marked green (globally ordered) at this server."),
+    "reds": ("repro_engine_red_actions_total",
+             "Actions marked red (locally ordered) at this server."),
+    "yellows": ("repro_engine_yellow_actions_total",
+                "Actions marked yellow (transitional delivery)."),
+    "exchanges": ("repro_engine_exchanges_total",
+                  "State-exchange rounds entered (one per view change)."),
+    "installs": ("repro_engine_installs_total",
+                 "Primary components installed at this server."),
+    "cpc_sent": ("repro_engine_cpc_sent_total",
+                 "Create-primary-component votes multicast."),
+    "state_msgs_sent": ("repro_engine_state_msgs_total",
+                        "Exchange state messages multicast."),
+    "retrans_actions": ("repro_engine_retrans_actions_total",
+                        "Actions retransmitted during exchanges."),
+    "client_requests": ("repro_engine_client_requests_total",
+                        "Client requests submitted at this server."),
+}
+
+
+class EngineStats(Mapping):
+    """Read-only dict-like view over the engine's registry counters.
+
+    Keeps ``engine.stats["greens"]``-style reads (tests, benchmarks,
+    the baseline adapters) working while the counters themselves live
+    in the :class:`~repro.obs.MetricsRegistry`.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: Dict[str, Any]):
+        self._counters = counters
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._counters[key].value)
+
+    def __iter__(self):
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return repr(dict(self))
+
+
 class EngineHooks:
     """Upcalls from the engine to its host replica.  Override freely."""
 
@@ -92,7 +145,8 @@ class ReplicationEngine:
                  database: Database, server_ids: List[int],
                  config: Optional[EngineConfig] = None,
                  hooks: Optional[EngineHooks] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.server_id = server_id
         self.channel = channel
@@ -101,6 +155,10 @@ class ReplicationEngine:
         self.config = config or EngineConfig()
         self.hooks = hooks or EngineHooks()
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else Observability.disabled()
+        # None when observability is off: the hot paths pay a None
+        # check, not a call.
+        self._spans = self.obs.tracker(server_id)
 
         self.state = EngineState.NON_PRIM
         self.queue = ActionQueue(server_ids)
@@ -143,12 +201,25 @@ class ReplicationEngine:
         channel.message_handler = self._on_gcs_message
         channel.conf_handler = self._on_gcs_conf
 
-        # statistics
-        self.stats = {
-            "greens": 0, "reds": 0, "yellows": 0, "exchanges": 0,
-            "installs": 0, "cpc_sent": 0, "state_msgs_sent": 0,
-            "retrans_actions": 0, "client_requests": 0,
-        }
+        # statistics: registry counters (fresh children — a rebuilt
+        # engine after crash recovery starts from zero, exactly like
+        # the volatile dict it replaced), with the old dict kept as a
+        # read-only view.
+        registry = self.obs.registry
+        counters = {
+            key: registry.counter(name, help, ("server",))
+                         .labels(server_id, fresh=True)
+            for key, (name, help) in ENGINE_COUNTERS.items()}
+        self._c_greens = counters["greens"]
+        self._c_reds = counters["reds"]
+        self._c_yellows = counters["yellows"]
+        self._c_exchanges = counters["exchanges"]
+        self._c_installs = counters["installs"]
+        self._c_cpc_sent = counters["cpc_sent"]
+        self._c_state_msgs = counters["state_msgs_sent"]
+        self._c_retrans = counters["retrans_actions"]
+        self._c_client_requests = counters["client_requests"]
+        self.stats = EngineStats(counters)
 
     # ==================================================================
     # public API
@@ -172,8 +243,10 @@ class ReplicationEngine:
         """
         if self.exited:
             raise RuntimeError(f"server {self.server_id} has left the system")
-        self.stats["client_requests"] += 1
+        self._c_client_requests.inc()
         action = self._create_action(update, query, client, meta or {})
+        if self._spans is not None:
+            self._spans.on_submit(action.action_id, self.sim.now)
         if self.state in (EngineState.REG_PRIM, EngineState.NON_PRIM):
             self._journal_and_generate([action])
         else:
@@ -182,6 +255,9 @@ class ReplicationEngine:
 
     def submit_action(self, action: Action) -> None:
         """Submit a pre-built action (reconfiguration, semantics layer)."""
+        if self._spans is not None \
+                and action.action_id.server_id == self.server_id:
+            self._spans.on_submit(action.action_id, self.sim.now)
         if self.state in (EngineState.REG_PRIM, EngineState.NON_PRIM):
             self._journal_and_generate([action])
         else:
@@ -256,6 +332,10 @@ class ReplicationEngine:
             self._on_reg_conf(conf)
 
     def _on_trans_conf(self, conf: Configuration) -> None:
+        if self._spans is not None and self.in_primary:
+            # Steady state ends here; the span closes at the next
+            # primary install (the paper's membership-change cost).
+            self._spans.on_membership_start(self.sim.now)
         state = self.state
         if state == EngineState.REG_PRIM:
             self._set_state(EngineState.TRANS_PRIM)
@@ -271,9 +351,13 @@ class ReplicationEngine:
         state = self.state
         if state == EngineState.TRANS_PRIM:
             self.vulnerable.invalidate()
+            if self._spans is not None:
+                self._spans.close_vulnerable(self.sim.now)
             self.yellow.make_valid()
         elif state == EngineState.NO:
             self.vulnerable.invalidate()
+            if self._spans is not None:
+                self._spans.close_vulnerable(self.sim.now)
         elif state == EngineState.UN:
             pass  # stays vulnerable (the '?' transition of Figure 4)
         self.conf = conf
@@ -303,10 +387,10 @@ class ReplicationEngine:
     # ==================================================================
     # marking procedures (A.14 + CodeSegment 5.1)
     # ==================================================================
-    def _mark_red(self, action: Action) -> bool:
+    def _mark_red(self, action: Action, greening: bool = False) -> bool:
         accepted = self.queue.mark_red(action)
         if accepted:
-            self._note_red(action)
+            self._note_red(action, greening)
             self._drain_fifo_pending(action.server_id)
         else:
             creator = action.server_id
@@ -320,8 +404,16 @@ class ReplicationEngine:
                     creator, {})[action.action_id.index] = action
         return accepted
 
-    def _note_red(self, action: Action) -> None:
-        self.stats["reds"] += 1
+    def _note_red(self, action: Action, greening: bool = False) -> None:
+        self._c_reds.inc()
+        if self._spans is not None and not greening:
+            # ``greening``: the caller marks this action green at this
+            # same instant, and the green hook records a zero-gap span
+            # by itself — opening one here would be churn.  An action
+            # that was red *earlier* keeps its open span (greening only
+            # suppresses the record when the red is accepted fresh
+            # inside a green marking).
+            self._spans.on_red(action.action_id, self.sim.now)
         if action.action_id.server_id == self.server_id:
             self.ongoing.pop(action.action_id, None)
         self.hooks.on_red(action)
@@ -340,16 +432,24 @@ class ReplicationEngine:
         self._mark_red(action)
         if self.queue.color_of(action.action_id) is not None:
             self.yellow.add(action.action_id)
-            self.stats["yellows"] += 1
+            self._c_yellows.inc()
 
     def _mark_green(self, action: Action) -> bool:
         """MarkGreen with the Section 5.1 reconfiguration hook."""
-        self._mark_red(action)
+        fresh_red = self._mark_red(action, greening=True)
         if not self.queue.mark_green(action):
             return False
         position = self.queue.green_count - 1
         self.queue.set_green_line(self.server_id, self.queue.green_count)
-        self.stats["greens"] += 1
+        self._c_greens.inc()
+        spans = self._spans
+        if spans is not None:
+            if fresh_red and action.server_id != self.server_id:
+                # Steady state on a non-originator: red and green at
+                # this same instant, nothing to time — batch the count.
+                spans.instant_greens += 1
+            else:
+                spans.on_green(action.action_id, self.sim.now)
 
         if (action.type is ActionType.PERSISTENT_JOIN
                 and action.join_id is not None
@@ -457,7 +557,9 @@ class ReplicationEngine:
         assert self.conf is not None
         self._generation += 1
         generation = self._generation
-        self.stats["exchanges"] += 1
+        self._c_exchanges.inc()
+        if self._spans is not None:
+            self._spans.on_membership_start(self.sim.now)
         self._state_messages = {}
         self._cpc_received = set()
         self._knowledge = None
@@ -485,7 +587,7 @@ class ReplicationEngine:
             vulnerable=self.vulnerable,
             yellow_valid=self.yellow.is_valid,
             yellow_ids=tuple(self.yellow.set))
-        self.stats["state_msgs_sent"] += 1
+        self._c_state_msgs.inc()
         self.channel.multicast(msg, ServiceLevel.SAFE,
                                size=self.config.control_size)
 
@@ -518,7 +620,7 @@ class ReplicationEngine:
         self._green_retrans_sent = True
         for pos, action in self.queue.green_slice(self._plan.green_start,
                                                   self._plan.green_target):
-            self.stats["retrans_actions"] += 1
+            self._c_retrans.inc()
             self.channel.multicast(
                 EngineActionMsg(action=action, green_pos=pos, retrans=True,
                                 green_line=self.queue.green_count),
@@ -539,7 +641,7 @@ class ReplicationEngine:
             for action in self.queue.red_actions_of(creator):
                 if action.action_id.index <= floor:
                     continue
-                self.stats["retrans_actions"] += 1
+                self._c_retrans.inc()
                 self.channel.multicast(
                     EngineActionMsg(action=action, retrans=True,
                                     green_line=self.queue.green_count),
@@ -575,6 +677,8 @@ class ReplicationEngine:
                 self.vulnerable.bits = dict(bits)
                 if not valid:
                     self.vulnerable.invalidate()
+                    if self._spans is not None:
+                        self._spans.close_vulnerable(self.sim.now)
         if self.config.truncate_white:
             self.queue.truncate_white()
 
@@ -584,6 +688,8 @@ class ReplicationEngine:
                                        self.attempt_index,
                                        tuple(sorted(self.conf.members)),
                                        self.server_id)
+            if self._spans is not None:
+                self._spans.open_vulnerable(self.sim.now)
             self._persist_records()
             self._set_state(EngineState.CONSTRUCT)
             self.store.sync(lambda: self._send_cpc(generation))
@@ -623,7 +729,7 @@ class ReplicationEngine:
                 or self.state != EngineState.CONSTRUCT):
             return
         assert self.conf is not None
-        self.stats["cpc_sent"] += 1
+        self._c_cpc_sent.inc()
         self.channel.multicast(
             EngineCpcMsg(self.server_id, self.conf.view_id),
             ServiceLevel.SAFE, size=self.config.control_size)
@@ -659,7 +765,7 @@ class ReplicationEngine:
 
     def _install(self) -> None:
         """Install (A.10)."""
-        self.stats["installs"] += 1
+        self._c_installs.inc()
         if self.yellow.is_valid:
             for action_id in list(self.yellow.set):        # OR-1.2
                 action = self.queue.find(action_id)
@@ -678,6 +784,8 @@ class ReplicationEngine:
                 return
         self._persist_records()
         self.store.sync()
+        if self._spans is not None:
+            self._spans.on_install(self.sim.now)
         self.tracer.emit(self.sim.now, self.server_id, "engine.install",
                          prim_index=self.prim_component.prim_index,
                          servers=self.prim_component.servers)

@@ -17,6 +17,7 @@ from ..db import Action, ActionId, ActionType, Database, DirtyView
 from ..gcs import (GcsDaemon, GcsSettings, GroupChannel,
                    ReliableChannelEndpoint)
 from ..net import Datagram
+from ..obs import Observability
 from ..sim import ServiceQueue, Timer, Tracer
 from ..storage import DiskProfile, SimulatedDisk, StableStore, WriteAheadLog
 from .engine import EngineConfig, EngineHooks, ReplicationEngine
@@ -28,6 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.base import Runtime, Transport
 
 Completion = Callable[[Action, int, Any], None]
+
+#: Figure 4 states as gauge codes (stable across enum reordering).
+_STATE_CODES = {
+    EngineState.NON_PRIM: 0, EngineState.REG_PRIM: 1,
+    EngineState.TRANS_PRIM: 2, EngineState.EXCHANGE_STATES: 3,
+    EngineState.EXCHANGE_ACTIONS: 4, EngineState.CONSTRUCT: 5,
+    EngineState.NO: 6, EngineState.UN: 7,
+}
 
 
 class _ReplicaHooks(EngineHooks):
@@ -61,31 +70,58 @@ class Replica:
                  disk_profile: Optional[DiskProfile] = None,
                  gcs_settings: Optional[GcsSettings] = None,
                  engine_config: Optional[EngineConfig] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.node = node
         self.network = network
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else Observability.disabled()
         self.server_ids = list(server_ids)
         self.engine_config = engine_config or EngineConfig()
 
-        self.disk = SimulatedDisk(sim, node, disk_profile, self.tracer)
-        self.wal = WriteAheadLog(self.disk)
+        self.disk = SimulatedDisk(sim, node, disk_profile, self.tracer,
+                                  obs=self.obs)
+        self.wal = WriteAheadLog(self.disk, obs=self.obs)
         self.store = StableStore(self.wal)
         self.database = Database()
         self.dirty_view = DirtyView(self.database)
 
         self.daemon = GcsDaemon(sim, node, network, directory,
                                 gcs_settings, self.tracer,
-                                extra_dispatch=self._extra_dispatch)
+                                extra_dispatch=self._extra_dispatch,
+                                obs=self.obs)
         self.channel = GroupChannel(self.daemon)
         self.endpoint = ReliableChannelEndpoint(sim, node, network,
-                                                self._on_channel_message)
+                                                self._on_channel_message,
+                                                obs=self.obs)
         self.engine = ReplicationEngine(
             sim, node, self.channel, self.store, self.database,
             self.server_ids, self.engine_config, _ReplicaHooks(self),
-            self.tracer)
+            self.tracer, obs=self.obs)
         self.representative = RepresentativeRole(self)
+        if self.obs.enabled:
+            # Read through ``self.engine``/``self.running`` at collect
+            # time so recovery's engine rebuild is picked up for free.
+            registry = self.obs.registry
+            for name, help, fn in (
+                    ("repro_engine_state",
+                     "Engine state (Figure 4): 0=NonPrim 1=RegPrim "
+                     "2=TransPrim 3=ExchangeStates 4=ExchangeActions "
+                     "5=Construct 6=No 7=Un.",
+                     lambda: _STATE_CODES.get(self.engine.state, -1)),
+                    ("repro_engine_green_count",
+                     "Actions on the green (globally ordered) line.",
+                     lambda: self.engine.queue.green_count),
+                    ("repro_engine_ongoing_actions",
+                     "Locally originated actions not yet green "
+                     "(ongoingQueue depth).",
+                     lambda: len(self.engine.ongoing)),
+                    ("repro_replica_running",
+                     "1 while the node is up, 0 after a crash.",
+                     lambda: 1 if self.running else 0)):
+                registry.gauge_callback(name, fn, help,
+                                        ("server",), (node,))
         self.joiner: Optional[Any] = None   # set by cluster for joiners
 
         self.cpu = ServiceQueue(sim)
@@ -144,7 +180,7 @@ class Replica:
         self.engine = ReplicationEngine(
             self.sim, self.node, self.channel, self.store, self.database,
             [self.node], self.engine_config, _ReplicaHooks(self),
-            self.tracer)
+            self.tracer, obs=self.obs)
         recover_engine(self.engine)
         self.daemon.recover()
         self.endpoint.start()

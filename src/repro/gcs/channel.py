@@ -19,6 +19,7 @@ from ..net import Datagram
 from ..sim import Actor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
     from ..runtime.base import Runtime, Transport
 
 
@@ -62,13 +63,44 @@ class ReliableChannelEndpoint(Actor):
 
     def __init__(self, sim: "Runtime", node: int, network: "Transport",
                  on_message: Callable[[int, Any], None],
-                 retransmit_interval: float = 0.05):
+                 retransmit_interval: float = 0.05,
+                 obs: Optional["Observability"] = None):
         super().__init__(sim, name=f"chan{node}")
         self.node = node
         self.network = network
         self.on_message = on_message
         self.retransmit_interval = retransmit_interval
         self._peers: Dict[int, _PeerState] = {}
+        # Native counts on the datapath; mirrored into the registry at
+        # collection time (one inc per message would be measurable on
+        # the asyncio runtime, where every protocol message crosses a
+        # channel).
+        self.sends = 0
+        self.retransmits = 0
+        self.deliveries = 0
+        if obs is not None and obs.enabled:
+            registry = obs.registry
+            registry.counter_callback(
+                "repro_channel_sends_total",
+                lambda: self.sends,
+                "Payloads queued on reliable point-to-point channels.",
+                ("server",), (node,))
+            registry.counter_callback(
+                "repro_channel_retransmits_total",
+                lambda: self.retransmits,
+                "Go-back-N retransmissions on reliable channels.",
+                ("server",), (node,))
+            registry.counter_callback(
+                "repro_channel_deliveries_total",
+                lambda: self.deliveries,
+                "In-order payload deliveries on reliable channels.",
+                ("server",), (node,))
+            registry.gauge_callback(
+                "repro_channel_unacked",
+                lambda: sum(len(s.outstanding)
+                            for s in self._peers.values()),
+                "Unacknowledged payloads across all peers.",
+                ("server",), (node,))
         self._retry = self.make_timer("retry", self._retransmit,
                                       retransmit_interval, periodic=True)
         self._running = False
@@ -98,6 +130,7 @@ class ReliableChannelEndpoint(Actor):
         seq = state.next_out
         state.next_out += 1
         state.outstanding[seq] = (payload, size)
+        self.sends += 1
         self.network.send(self.node, peer,
                           ChanData(self.node, seq, payload, size), size)
 
@@ -105,6 +138,7 @@ class ReliableChannelEndpoint(Actor):
         for peer, state in self._peers.items():
             for seq in sorted(state.outstanding):
                 payload, size = state.outstanding[seq]
+                self.retransmits += 1
                 self.network.send(self.node, peer,
                                   ChanData(self.node, seq, payload, size),
                                   size)
@@ -136,6 +170,7 @@ class ReliableChannelEndpoint(Actor):
             delivered.append(payload)
         self.network.send(self.node, msg.src,
                           ChanAck(self.node, state.next_in), 64)
+        self.deliveries += len(delivered)
         for payload in delivered:
             self.on_message(msg.src, payload)
 

@@ -32,6 +32,7 @@ from ..net import Datagram
 from ..sim import Actor, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
     from ..runtime.base import Runtime, Transport
 from .ordering import ViewOrdering
 from .types import (AckMsg, Configuration, DataMsg, FlushDoneMsg,
@@ -66,6 +67,9 @@ class DaemonState:
     GATHER = "gather"
     FLUSH = "flush"
 
+    #: Numeric codes for the state gauge (dashboards need numbers).
+    CODES = {DOWN: 0, IDLE: 1, OPERATIONAL: 2, GATHER: 3, FLUSH: 4}
+
 
 class GcsDaemon(Actor):
     """One node's group communication endpoint."""
@@ -75,7 +79,8 @@ class GcsDaemon(Actor):
                  settings: Optional[GcsSettings] = None,
                  tracer: Optional[Tracer] = None,
                  extra_dispatch: Optional[
-                     Callable[[Datagram], bool]] = None):
+                     Callable[[Datagram], bool]] = None,
+                 obs: Optional["Observability"] = None):
         super().__init__(sim, name=f"gcs{node}")
         self.node = node
         self.network = network
@@ -138,6 +143,32 @@ class GcsDaemon(Actor):
         self.messages_multicast = 0
         self.deliveries = 0
         self.views_installed = 0
+        self._c_gathers = None
+        if obs is not None and obs.enabled:
+            registry = obs.registry
+            self._c_gathers = registry.counter(
+                "repro_gcs_gather_rounds_total",
+                "Membership gather rounds entered.",
+                ("server",)).labels(node)
+            for name, help, fn in (
+                    ("repro_gcs_messages_multicast",
+                     "Application messages multicast by the daemon.",
+                     lambda: self.messages_multicast),
+                    ("repro_gcs_deliveries",
+                     "Ordered message deliveries to the application.",
+                     lambda: self.deliveries),
+                    ("repro_gcs_views_installed",
+                     "Group views installed.",
+                     lambda: self.views_installed),
+                    ("repro_gcs_outbox_depth",
+                     "Application sends buffered during membership "
+                     "changes.", lambda: len(self._outbox)),
+                    ("repro_gcs_state",
+                     "Daemon lifecycle state (0=down 1=idle "
+                     "2=operational 3=gather 4=flush).",
+                     lambda: DaemonState.CODES.get(self.state, -1))):
+                registry.gauge_callback(name, fn, help,
+                                        ("server",), (node,))
 
         # O(1) payload dispatch (bound methods, keyed by exact type) —
         # replaces a linear isinstance chain on the hottest receive path
@@ -578,6 +609,8 @@ class GcsDaemon(Actor):
         self._reset_round()
         self.attempt = max(self.attempt, attempt)
         self.state = DaemonState.GATHER
+        if self._c_gathers is not None:
+            self._c_gathers.inc()
         self._perceived = {self.node}
         self.tracer.emit(self.sim.now, self.node, "gcs.gather",
                          attempt=self.attempt)

@@ -1,0 +1,84 @@
+"""Protocol observability: metrics registry, lifecycle spans, exporters.
+
+One :class:`Observability` object per deployment (a simulated
+:class:`~repro.core.ReplicaCluster` or a live
+:class:`~repro.runtime.LiveCluster`) bundles the pieces:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` shared by every node,
+  with per-node children distinguished by a ``server`` label;
+* one :class:`~repro.obs.spans.SpanTracker` per node, recording
+  action red→green / submit→green latencies, membership-change
+  durations, and vulnerable-window lengths;
+* exporters (:mod:`repro.obs.export`): JSON snapshot, Prometheus text,
+  and a live asyncio HTTP endpoint.
+
+Disabled observability (the default for simulated clusters) keeps the
+plain protocol counters alive — they are as cheap as the ad-hoc dicts
+they replaced and several tests assert on them — while span tracking,
+histograms, and callback gauges cost nothing.  See
+``docs/OBSERVABILITY.md`` for the instrument catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .export import (MetricsServer, fetch_http, lint_prometheus,
+                     prometheus_text, snapshot_json)
+from .metrics import (LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, percentile)
+from .spans import ActionSpan, MembershipSpan, SpanTracker
+
+
+class Observability:
+    """Per-deployment bundle: registry + per-node span trackers."""
+
+    def __init__(self, enabled: bool = True,
+                 registry: Optional[MetricsRegistry] = None,
+                 max_completed_spans: int = 100_000):
+        self.enabled = enabled
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(enabled=enabled)
+        self.max_completed_spans = max_completed_spans
+        self.trackers: Dict[Any, SpanTracker] = {}
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    def tracker(self, node: Any) -> Optional[SpanTracker]:
+        """The span tracker for ``node`` (None when disabled: callers
+        keep a None-check on the hot path instead of paying a call)."""
+        if not self.enabled:
+            return None
+        tracker = self.trackers.get(node)
+        if tracker is None:
+            tracker = self.trackers[node] = SpanTracker(
+                self.registry, node,
+                max_completed=self.max_completed_spans)
+        return tracker
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.registry)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+
+__all__ = [
+    "ActionSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MembershipSpan",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Observability",
+    "SpanTracker",
+    "fetch_http",
+    "lint_prometheus",
+    "percentile",
+    "prometheus_text",
+    "snapshot_json",
+]

@@ -35,6 +35,7 @@ from ..core.replica import Replica
 from ..core.state_machine import EngineState
 from ..db import ActionId
 from ..gcs import GcsSettings
+from ..obs import MetricsServer, Observability
 from ..sim.trace import Tracer
 from ..storage import DiskProfile
 from .asyncio_runtime import AsyncioRuntime
@@ -79,7 +80,8 @@ class LiveCluster:
                  engine_config: Optional[EngineConfig] = None,
                  disk_profile: Optional[DiskProfile] = None,
                  trace: bool = True,
-                 trace_limit: Optional[int] = 100_000):
+                 trace_limit: Optional[int] = 100_000,
+                 observability: Optional[Observability] = None):
         self.server_ids = list(server_ids)
         self.hosted = list(hosted) if hosted is not None else list(server_ids)
         self.runtime = runtime if runtime is not None else AsyncioRuntime()
@@ -88,6 +90,12 @@ class LiveCluster:
         # Long live runs must not grow memory without bound: cap the
         # trace ring buffer (the simulator's default stays unbounded).
         self.tracer = Tracer(enabled=trace, max_records=trace_limit)
+        # Live clusters observe by default: a wall-clock deployment is
+        # exactly where you want /metrics, and the protocol work per
+        # second is tiny next to real I/O.
+        self.obs = (observability if observability is not None
+                    else Observability())
+        self._metrics_server: Optional[MetricsServer] = None
         self.directory: Set[int] = set(self.server_ids)
         self.gcs_settings = gcs_settings or live_gcs_settings()
         self.engine_config = engine_config or EngineConfig()
@@ -103,7 +111,8 @@ class LiveCluster:
                 self.runtime, node, self.transport, self.directory,
                 self.server_ids, disk_profile=self.disk_profile,
                 gcs_settings=self.gcs_settings,
-                engine_config=self.engine_config, tracer=self.tracer)
+                engine_config=self.engine_config, tracer=self.tracer,
+                obs=self.obs)
             log = self._green_log[node] = []
             self.replicas[node].add_green_listener(
                 lambda action, _pos, _res, _log=log:
@@ -123,10 +132,57 @@ class LiveCluster:
         for replica in self.replicas.values():
             if replica.running:
                 replica.crash()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         close = getattr(self.transport, "close", None)
         if close is not None:
             close()
         self.runtime.stop()
+
+    # ==================================================================
+    # observability export
+    # ==================================================================
+    async def serve_metrics(self, host: str = "127.0.0.1",
+                            port: int = 0) -> MetricsServer:
+        """Serve this process's registry over HTTP: ``GET /metrics``
+        (Prometheus text) and ``GET /status`` (live cluster state).
+        ``port=0`` binds an OS-assigned port, published on the returned
+        server's ``.port``.  One endpoint per hosting process — in a
+        multi-process deployment each process exposes its hosted
+        replicas."""
+        if self._metrics_server is None:
+            self._metrics_server = MetricsServer(
+                self.obs.registry, status_fn=self.status_doc,
+                host=host, port=port)
+            await self._metrics_server.start()
+        return self._metrics_server
+
+    def status_doc(self) -> Dict[str, Any]:
+        """A JSON-able live view of the hosted replicas (the ``/status``
+        endpoint body)."""
+        doc: Dict[str, Any] = {"hosted": sorted(self.replicas),
+                               "servers": sorted(self.server_ids),
+                               "replicas": {}}
+        for node, replica in sorted(self.replicas.items()):
+            tracker = self.obs.tracker(node)
+            entry: Dict[str, Any] = {
+                "running": replica.running,
+                "engine_state": str(replica.engine.state),
+                "daemon_state": replica.daemon.state,
+                "green_applied": len(self._green_log[node]),
+                "green_count": replica.engine.queue.green_count,
+                "forced_writes": replica.disk.forced_writes,
+            }
+            if tracker is not None:
+                p50, p95, p99 = tracker.latency_percentiles(
+                    "submit_to_green")
+                entry["submit_to_green"] = {"p50": p50, "p95": p95,
+                                            "p99": p99}
+                entry["membership_changes"] = \
+                    len(tracker.membership_completed)
+            doc["replicas"][str(node)] = entry
+        return doc
 
     # ==================================================================
     # faults

@@ -83,6 +83,16 @@ class Tracer:
             yield record
 
     def clear(self) -> None:
-        self.records.clear()
-        self._counters.clear()
+        """Drop kept records and counters; emission continues as before.
+
+        Reallocates the store (preserving ``max_records``) instead of
+        clearing in place: iterators and aliases handed out earlier —
+        a live :meth:`select` generator, a saved ``records`` reference —
+        keep the pre-clear snapshot rather than being emptied under the
+        reader, and the ring-buffer capacity is guaranteed fresh."""
+        if self.max_records is None:
+            self.records = []
+        else:
+            self.records = deque(maxlen=self.max_records)
+        self._counters = {}
         self.dropped = 0

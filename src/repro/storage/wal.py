@@ -8,10 +8,13 @@ scan can rebuild exactly the state the paper's Recover procedure
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, NamedTuple, \
-    Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, \
+    NamedTuple, Optional
 
 from .disk import SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 
 class LogRecord(NamedTuple):
@@ -39,11 +42,37 @@ class WriteAheadLog:
     per query.
     """
 
-    def __init__(self, disk: SimulatedDisk):
+    def __init__(self, disk: SimulatedDisk,
+                 obs: Optional["Observability"] = None,
+                 node: Any = None):
         self.disk = disk
         self._index_version = -1
         self._records: List[LogRecord] = []
         self._by_kind: Dict[str, List[LogRecord]] = {}
+        # Native counts on the hot path; the registry mirrors them at
+        # collection time only (appends run once per journaled record,
+        # so even one instrument call here would show up in the
+        # obs_overhead gate).
+        self.appends = 0
+        self.rewrites = 0
+        if obs is not None and obs.enabled:
+            registry = obs.registry
+            label = disk.node if node is None else node
+            registry.counter_callback(
+                "repro_wal_appends_total",
+                lambda: self.appends,
+                "Records appended to the write-ahead log.",
+                ("server",), (label,))
+            registry.counter_callback(
+                "repro_wal_rewrites_total",
+                lambda: self.rewrites,
+                "Log compactions (atomic rewrites).",
+                ("server",), (label,))
+            registry.gauge_callback(
+                "repro_wal_durable_records",
+                lambda: self.durable_size,
+                "Records currently on stable storage.",
+                ("server",), (label,))
 
     def _index(self) -> Dict[str, List[LogRecord]]:
         version = self.disk.durable_version
@@ -67,6 +96,7 @@ class WriteAheadLog:
                forced: bool = True) -> None:
         """Append one record; ``callback`` fires when it is on stable
         storage (or buffered, if ``forced`` is False)."""
+        self.appends += 1
         self.disk.write(LogRecord(kind, data), callback=callback,
                         forced=forced)
 
@@ -77,6 +107,7 @@ class WriteAheadLog:
     def rewrite(self, records: List[LogRecord],
                 callback: Optional[Callable[[], None]] = None) -> None:
         """Atomically replace the log with ``records`` (compaction)."""
+        self.rewrites += 1
         self.disk.rewrite(list(records), callback)
 
     @property

@@ -1,5 +1,6 @@
-"""Operator tooling: declarative scenario runner and trace timelines."""
+"""Operator tooling: scenario runner, trace timelines, obs reports."""
 
+from .obsreport import build_report, default_spec, format_table
 from .scenario import (ScenarioError, ScenarioReport, ScenarioRunner,
                        run_scenario)
 from .timeline import render_timeline, state_changes, \
@@ -9,6 +10,9 @@ __all__ = [
     "ScenarioError",
     "ScenarioReport",
     "ScenarioRunner",
+    "build_report",
+    "default_spec",
+    "format_table",
     "render_timeline",
     "run_scenario",
     "state_changes",

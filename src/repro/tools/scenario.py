@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core import ReplicaCluster
+from ..obs import Observability
 
 
 class ScenarioError(Exception):
@@ -82,12 +83,15 @@ class ScenarioReport:
 class ScenarioRunner:
     """Executes one scenario spec against a fresh cluster."""
 
-    def __init__(self, spec: Dict[str, Any]):
+    def __init__(self, spec: Dict[str, Any],
+                 observability: Optional[Observability] = None):
         self.spec = spec
         self.report = ScenarioReport()
+        self.obs = observability
         self.cluster = ReplicaCluster(
             n=int(spec.get("replicas", 3)),
-            seed=int(spec.get("seed", 0)))
+            seed=int(spec.get("seed", 0)),
+            observability=observability)
         self._completions = 0
 
     # ------------------------------------------------------------------
@@ -195,9 +199,11 @@ class LiveScenarioRunner:
 
     _UNSUPPORTED = frozenset({"crash", "recover", "join", "leave"})
 
-    def __init__(self, spec: Dict[str, Any]):
+    def __init__(self, spec: Dict[str, Any],
+                 observability: Optional[Observability] = None):
         self.spec = spec
         self.report = ScenarioReport()
+        self.obs = observability
         self._completions = 0
 
     def run(self) -> ScenarioReport:
@@ -207,7 +213,8 @@ class LiveScenarioRunner:
         from ..core.state_machine import EngineState
         from ..runtime import LiveCluster
         n = int(self.spec.get("replicas", 3))
-        self.cluster = LiveCluster(list(range(1, n + 1)))
+        self.cluster = LiveCluster(list(range(1, n + 1)),
+                                   observability=self.obs)
         self.cluster.start_all()
         settle = float(self.spec.get("settle", 2.0))
         await self.cluster.wait_all_engine_state(
@@ -289,18 +296,22 @@ class LiveScenarioRunner:
 
 
 def run_scenario(spec: Dict[str, Any],
-                 runtime: Optional[str] = None) -> ScenarioReport:
+                 runtime: Optional[str] = None,
+                 observability: Optional[Observability] = None
+                 ) -> ScenarioReport:
     """Run a scenario spec; raises ScenarioError on failed checks.
 
     ``runtime`` (or the spec's ``"runtime"`` key) selects the execution
     substrate: ``"sim"`` (default, deterministic virtual time) or
     ``"asyncio"`` (live wall-clock run on a :class:`LiveCluster`).
+    Pass an enabled :class:`~repro.obs.Observability` to collect spans
+    and histograms during the run (``repro.tools.obsreport`` does).
     """
     chosen = runtime or spec.get("runtime", "sim")
     if chosen == "sim":
-        return ScenarioRunner(spec).run()
+        return ScenarioRunner(spec, observability=observability).run()
     if chosen == "asyncio":
-        return LiveScenarioRunner(spec).run()
+        return LiveScenarioRunner(spec, observability=observability).run()
     raise ScenarioError(f"unknown runtime {chosen!r}")
 
 

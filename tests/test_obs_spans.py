@@ -1,0 +1,212 @@
+"""Span tracking: unit semantics, plus a partition/remerge scenario.
+
+The integration test is the observability layer's end-to-end contract:
+run a real cluster through steady state, a partition, and a remerge,
+and check that every span the trackers closed is internally consistent
+(monotonic timestamps), that membership spans closed on the primary
+install, that vulnerable windows are not left dangling, and that the
+batched zero-gap green count folds into the histogram exactly.
+"""
+
+import pytest
+
+from conftest import make_cluster
+from repro.obs import MetricsRegistry, Observability
+from repro.obs.spans import SpanTracker
+
+
+# ----------------------------------------------------------------------
+# unit: tracker semantics against a bare registry
+# ----------------------------------------------------------------------
+
+def make_tracker():
+    registry = MetricsRegistry()
+    return registry, SpanTracker(registry, node=1)
+
+
+class TestSpanTrackerUnit:
+    def test_submit_red_green_closes_a_span(self):
+        _, tracker = make_tracker()
+        tracker.on_submit("a1", 1.0)
+        tracker.on_red("a1", 2.0)
+        tracker.on_green("a1", 5.0)
+        span = tracker.completed[-1]
+        assert span.closed
+        assert (span.submitted, span.red, span.green) == (1.0, 2.0, 5.0)
+        assert span.red_to_green == pytest.approx(3.0)
+        assert span.submit_to_green == pytest.approx(4.0)
+        assert not tracker.open
+
+    def test_duplicate_submit_and_red_keep_first_timestamp(self):
+        _, tracker = make_tracker()
+        tracker.on_red("a1", 2.0)
+        tracker.on_red("a1", 3.0)
+        tracker.on_green("a1", 4.0)
+        assert tracker.completed[-1].red == 2.0
+
+    def test_green_without_red_is_zero_gap(self):
+        _, tracker = make_tracker()
+        tracker.on_green("a1", 7.0)
+        span = tracker.completed[-1]
+        assert span.red == 7.0
+        assert span.red_to_green == 0.0
+        assert span.submitted is None
+        assert span.submit_to_green is None
+
+    def test_open_property_materializes_both_maps(self):
+        _, tracker = make_tracker()
+        tracker.on_submit("a1", 1.0)
+        tracker.on_red("a1", 2.0)
+        tracker.on_red("a2", 3.0)
+        spans = tracker.open
+        assert spans["a1"].submitted == 1.0 and spans["a1"].red == 2.0
+        assert spans["a2"].submitted is None and spans["a2"].red == 3.0
+        assert not spans["a1"].closed
+
+    def test_instant_greens_flush_into_zero_bucket(self):
+        registry, tracker = make_tracker()
+        tracker.on_red("a1", 1.0)
+        tracker.on_green("a1", 1.5)     # one observed span
+        tracker.instant_greens += 3     # the engine's batched count
+        assert tracker.greens_total == 4
+        registry.collect()              # collect hook flushes
+        assert tracker.instant_greens == 0
+        assert tracker.greens_total == 4
+        histogram = registry.get_sample(
+            "repro_action_red_to_green_seconds", 1)
+        assert histogram.count == 4
+        assert histogram.counts[0] == 3          # zero-gap bucket
+        assert histogram.sum == pytest.approx(0.5)
+
+    def test_latency_percentiles_flush_first(self):
+        _, tracker = make_tracker()
+        tracker.instant_greens += 10
+        p50, p95, p99 = tracker.latency_percentiles("red_to_green")
+        assert tracker.instant_greens == 0
+        # All mass in the first bucket: quantiles stay sub-bucket.
+        assert p99 <= 0.0005
+
+    def test_membership_span_is_idempotent_until_install(self):
+        _, tracker = make_tracker()
+        tracker.on_membership_start(1.0)
+        tracker.on_membership_start(2.0)    # repeated exchange
+        assert tracker.membership_open.started == 1.0
+        tracker.on_install(4.0)
+        assert tracker.membership_open is None
+        assert tracker.membership_durations() == [pytest.approx(3.0)]
+
+    def test_install_closes_the_vulnerable_window(self):
+        _, tracker = make_tracker()
+        tracker.on_membership_start(1.0)
+        tracker.open_vulnerable(2.0)
+        tracker.open_vulnerable(2.5)        # second vote, same window
+        tracker.on_install(3.0)
+        assert tracker.vulnerable_open is None
+        assert list(tracker.vulnerable_completed) == [(2.0, 3.0)]
+
+    def test_invalidated_attempt_closes_window_without_install(self):
+        _, tracker = make_tracker()
+        tracker.open_vulnerable(2.0)
+        tracker.close_vulnerable(2.4)
+        assert tracker.vulnerable_open is None
+        assert tracker.membership_open is None
+
+
+# ----------------------------------------------------------------------
+# integration: partition / remerge on a live 5-node cluster
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def partitioned_run():
+    """Steady load, a 3/2 partition, more load, heal, settle."""
+    obs = Observability()
+    cluster = make_cluster(5, seed=11, observability=obs)
+    cluster.start_all(settle=1.0)
+    for i in range(20):
+        cluster.client(1 + i % 5).submit(("SET", f"k{i}", i))
+    cluster.run_for(1.0)
+    cluster.partition([1, 2, 3], [4, 5])
+    cluster.run_for(1.5)
+    for i in range(10):
+        cluster.client(1 + i % 3).submit(("SET", f"p{i}", i))
+    cluster.run_for(1.0)
+    cluster.heal()
+    cluster.run_for(3.0)
+    cluster.assert_converged()
+    return cluster, obs
+
+
+class TestPartitionRemergeSpans:
+    def test_every_tracker_saw_every_green(self, partitioned_run):
+        cluster, obs = partitioned_run
+        totals = {node: obs.trackers[node].greens_total
+                  for node in cluster.server_ids}
+        assert len(set(totals.values())) == 1, totals
+        assert next(iter(totals.values())) >= 30
+
+    def test_completed_spans_have_monotonic_timestamps(self,
+                                                       partitioned_run):
+        _, obs = partitioned_run
+        for tracker in obs.trackers.values():
+            assert tracker.completed
+            last_green = 0.0
+            for span in tracker.completed:
+                assert span.closed
+                if span.submitted is not None:
+                    assert span.submitted <= span.green
+                assert span.red is not None
+                assert span.red <= span.green
+                # Greens close in order at each node.
+                assert span.green >= last_green
+                last_green = span.green
+
+    def test_membership_spans_closed_on_install(self, partitioned_run):
+        cluster, obs = partitioned_run
+        for node in cluster.server_ids:
+            tracker = obs.trackers[node]
+            # Initial install, plus the partition and/or the remerge.
+            assert len(tracker.membership_completed) >= 2
+            assert tracker.membership_open is None
+            for span in tracker.membership_completed:
+                assert span.installed is not None
+                assert span.installed >= span.started
+        # The majority side installed without the minority, then again
+        # on the merge: at least one more change than the minority saw.
+        majority = len(obs.trackers[1].membership_completed)
+        assert majority >= 3
+
+    def test_vulnerable_windows_all_closed(self, partitioned_run):
+        cluster, obs = partitioned_run
+        for node in cluster.server_ids:
+            tracker = obs.trackers[node]
+            assert tracker.vulnerable_open is None
+            assert tracker.vulnerable_completed
+            for opened, closed in tracker.vulnerable_completed:
+                assert closed >= opened
+
+    def test_histogram_count_matches_greens_after_collect(
+            self, partitioned_run):
+        cluster, obs = partitioned_run
+        totals = {node: obs.trackers[node].greens_total
+                  for node in cluster.server_ids}
+        doc = obs.snapshot()                 # collect() flushes trackers
+        for node in cluster.server_ids:
+            assert obs.trackers[node].instant_greens == 0
+            entry = doc["repro_action_red_to_green_seconds"][str(node)]
+            assert entry["count"] == totals[node]
+
+    def test_submit_spans_only_at_originators(self, partitioned_run):
+        cluster, obs = partitioned_run
+        originated = 0
+        for tracker in obs.trackers.values():
+            originated += sum(1 for span in tracker.completed
+                              if span.submitted is not None)
+        assert originated == 30              # one span per client submit
+
+    def test_report_percentiles_are_finite_and_ordered(self,
+                                                       partitioned_run):
+        _, obs = partitioned_run
+        for tracker in obs.trackers.values():
+            p50, p95, p99 = \
+                tracker.latency_percentiles("submit_to_green")
+            assert 0.0 <= p50 <= p95 <= p99 < 60.0

@@ -87,3 +87,35 @@ class TestTracer:
         for i in range(100):
             tracer.emit(float(i), 1, "cat")
         assert len(tracer.records) == 100 and tracer.dropped == 0
+
+    def test_clear_reallocates_ring_buffer(self):
+        # Regression: clear() must hand back a fresh ring with the same
+        # capacity and a zeroed drop count, and continued emission must
+        # window/drop exactly like a newly built tracer.
+        tracer = Tracer(max_records=3)
+        for i in range(5):
+            tracer.emit(float(i), 1, "cat", i=i)
+        pre_clear = tracer.records          # alias taken before clear()
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.count("cat") == 0
+        # The alias keeps the pre-clear snapshot; the tracer starts fresh.
+        assert [r.detail["i"] for r in pre_clear] == [2, 3, 4]
+        assert len(tracer.records) == 0
+        for i in range(10, 15):
+            tracer.emit(float(i), 1, "cat", i=i)
+        assert [r.detail["i"] for r in tracer.records] == [12, 13, 14]
+        assert tracer.dropped == 2
+        assert tracer.count("cat") == 5
+
+    def test_clear_mid_select_iteration(self):
+        # A select() generator obtained before clear() must not be
+        # emptied under the reader.
+        tracer = Tracer(max_records=4)
+        for i in range(4):
+            tracer.emit(float(i), 1, "cat", i=i)
+        iterator = tracer.select("cat")
+        first = next(iterator)
+        tracer.clear()
+        remaining = [first] + list(iterator)
+        assert [r.detail["i"] for r in remaining] == [0, 1, 2, 3]

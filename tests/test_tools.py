@@ -7,6 +7,7 @@ import pytest
 from repro.core import ReplicaCluster
 from repro.tools import (ScenarioError, render_timeline, run_scenario,
                          state_changes, summarize_time_in_state)
+from repro.tools.obsreport import main as obsreport_main
 from repro.tools.scenario import main as scenario_main
 
 
@@ -102,6 +103,38 @@ class TestScenarioRunner:
         assert scenario_main([str(path), "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["checks_passed"] == 2
+
+
+class TestObsReport:
+    def test_builtin_workload_prints_latency_table(self, capsys):
+        assert obsreport_main(["--replicas", "3",
+                               "--actions", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "red->green" in out and "submit->green" in out
+        # Header plus one row per replica.
+        assert len(out.strip().splitlines()) == 2 + 3
+
+    def test_json_report_is_complete(self, capsys):
+        assert obsreport_main(["--json", "--replicas", "3",
+                               "--actions", "8"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert sorted(doc["replicas"]) == ["1", "2", "3"]
+        for entry in doc["replicas"].values():
+            assert entry["actions_completed"] >= 8
+            assert entry["forced_writes"] > 0
+            assert entry["syncs"] > 0
+            # The built-in workload injects a partition/heal cycle.
+            assert entry["membership_changes"] >= 2
+            assert entry["vulnerable_windows"] >= 1
+            percentiles = entry["submit_to_green"]
+            assert 0.0 <= percentiles["p50"] <= percentiles["p99"]
+
+    def test_scenario_spec_report(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(BASIC))
+        assert obsreport_main([str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["replicas"]["1"]["actions_completed"] >= 1
 
 
 class TestTimeline:
