@@ -1,0 +1,247 @@
+"""Determinism linter for protocol modules.
+
+The replication protocol must be a deterministic function of its input
+event sequence: the simulation relies on it for reproducible runs, and
+the algorithm itself relies on it — every server replays the same
+totally-ordered actions and must reach the same state (Section 4 of
+the paper calls this out as the core soundness obligation).  This
+linter flags the common ways Python code silently breaks that:
+
+* **wall-clock** — ``time.time()`` / ``time.monotonic()`` /
+  ``datetime.now()`` & friends.  Protocol code must take time from the
+  ``Runtime`` seam (simulated or real), never from the host clock.
+* **global-random** — module-level ``random.*`` calls (or importing
+  names out of ``random``).  All randomness must flow through a seeded
+  ``random.Random`` instance owned by the simulation.
+* **unordered-iteration** — iterating a ``set``/``dict`` (or
+  ``set(...)`` call) where the elements feed ordering: directly in a
+  ``for`` loop or comprehension without an enclosing ``sorted()``.
+  Set iteration order varies across processes (hash randomization), so
+  anything derived from it diverges between servers.
+* **id-key** — using ``id(x)`` as a dict key / set member / sort key;
+  object addresses differ across runs.
+* **float-equality** — ``==`` / ``!=`` between float literals and
+  protocol values; floating-point drift makes this replay-unstable.
+
+Scope: packages named in :data:`PROTOCOL_PACKAGES`.  Intentional uses
+carry ``# repro: allow[rule] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+from .common import (Finding, SourceFile, collect_py_files, iter_findings,
+                     parse_file, subpackage_of)
+
+ANALYZER = "determinism"
+RULE_WALL_CLOCK = "wall-clock"
+RULE_GLOBAL_RANDOM = "global-random"
+RULE_UNORDERED_ITER = "unordered-iteration"
+RULE_ID_KEY = "id-key"
+RULE_FLOAT_EQ = "float-equality"
+
+#: Subpackages of ``repro`` whose code must be deterministic.
+PROTOCOL_PACKAGES = frozenset(
+    {"core", "gcs", "sim", "storage", "semantics"})
+
+#: time/datetime attributes that read the host clock.
+_WALL_CLOCK_ATTRS = {
+    "time": {"time", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "time_ns", "clock_gettime"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: ``random`` module functions whose use means unseeded global state.
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "expovariate", "betavariate",
+    "seed", "getrandbits", "normalvariate", "triangular",
+}
+
+
+class DeterminismLinter:
+    """AST linter for nondeterminism hazards in protocol code."""
+
+    def __init__(self, packages: Optional[Set[str]] = None):
+        self.packages = set(packages) if packages is not None \
+            else set(PROTOCOL_PACKAGES)
+
+    def in_scope(self, path: Path) -> bool:
+        return subpackage_of(path) in self.packages
+
+    def check_paths(self, paths: Iterable[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in collect_py_files(paths):
+            if not self.in_scope(path):
+                continue
+            source = parse_file(path)
+            findings.extend(iter_findings(self._check_source(source),
+                                          source))
+        return findings
+
+    def _check_source(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        path = str(source.path)
+        random_aliases = self._random_aliases(source.tree)
+        sorted_wrapped = self._sorted_wrapped_nodes(source.tree)
+        for node in ast.walk(source.tree):
+            findings.extend(self._wall_clock(node, path))
+            findings.extend(self._global_random(node, path,
+                                                random_aliases))
+            findings.extend(self._unordered_iteration(node, path,
+                                                      sorted_wrapped))
+            findings.extend(self._id_key(node, path))
+            findings.extend(self._float_equality(node, path))
+        return findings
+
+    # -- wall-clock -------------------------------------------------------
+    def _wall_clock(self, node: ast.AST, path: str) -> List[Finding]:
+        if not isinstance(node, ast.Call):
+            return []
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif (isinstance(base, ast.Attribute)
+                  and isinstance(base.value, ast.Name)
+                  and base.value.id == "datetime"):
+                base_name = base.attr          # datetime.datetime.now()
+            if base_name in _WALL_CLOCK_ATTRS \
+                    and func.attr in _WALL_CLOCK_ATTRS[base_name]:
+                return [Finding(
+                    rule=RULE_WALL_CLOCK, path=path, line=node.lineno,
+                    message=(f"{base_name}.{func.attr}() reads the host "
+                             f"clock; take time from the Runtime seam"),
+                    analyzer=ANALYZER)]
+        return []
+
+    # -- global random ----------------------------------------------------
+    def _random_aliases(self, tree: ast.Module) -> Set[str]:
+        """Names bound (at module level) to functions imported *from*
+        the random module, e.g. ``from random import choice``."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RANDOM_FUNCS:
+                        aliases.add(alias.asname or alias.name)
+        return aliases
+
+    def _global_random(self, node: ast.AST, path: str,
+                       aliases: Set[str]) -> List[Finding]:
+        if not isinstance(node, ast.Call):
+            return []
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in _GLOBAL_RANDOM_FUNCS):
+            return [Finding(
+                rule=RULE_GLOBAL_RANDOM, path=path, line=node.lineno,
+                message=(f"random.{func.attr}() uses the unseeded global "
+                         f"generator; use the simulation's seeded "
+                         f"random.Random instance"),
+                analyzer=ANALYZER)]
+        if isinstance(func, ast.Name) and func.id in aliases:
+            return [Finding(
+                rule=RULE_GLOBAL_RANDOM, path=path, line=node.lineno,
+                message=(f"{func.id}() comes from the global random "
+                         f"module; use the simulation's seeded "
+                         f"random.Random instance"),
+                analyzer=ANALYZER)]
+        return []
+
+    # -- unordered iteration ----------------------------------------------
+    def _sorted_wrapped_nodes(self, tree: ast.Module) -> Set[int]:
+        """ids of expressions appearing directly inside ``sorted(...)``,
+        ``min(...)``, ``max(...)``, ``len(...)``, ``sum(...)``,
+        ``frozenset(...)``/``set(...)`` or equality — contexts where set
+        iteration order cannot leak."""
+        neutral = {"sorted", "min", "max", "len", "sum", "set",
+                   "frozenset", "any", "all"}
+        wrapped: Set[int] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in neutral):
+                for arg in node.args:
+                    wrapped.add(id(arg))
+            if isinstance(node, ast.Compare):
+                wrapped.add(id(node.left))
+                for comparator in node.comparators:
+                    wrapped.add(id(comparator))
+        return wrapped
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+            # s1 & s2 / s1 | s2 / s1 - s2 on sets; only flag when one
+            # side is itself literally a set expression.
+            return self._is_set_expr(node.left) \
+                or self._is_set_expr(node.right)
+        return False
+
+    def _unordered_iteration(self, node: ast.AST, path: str,
+                             wrapped: Set[int]) -> List[Finding]:
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        findings = []
+        for it in iters:
+            if id(it) in wrapped:
+                continue
+            if self._is_set_expr(it):
+                findings.append(Finding(
+                    rule=RULE_UNORDERED_ITER, path=path, line=it.lineno,
+                    message=("iterating a set in hash order; wrap in "
+                             "sorted() so every server sees the same "
+                             "sequence"),
+                    analyzer=ANALYZER))
+        return findings
+
+    # -- id() keys --------------------------------------------------------
+    def _id_key(self, node: ast.AST, path: str) -> List[Finding]:
+        if not isinstance(node, ast.Subscript):
+            return []
+        index = node.slice
+        if (isinstance(index, ast.Call)
+                and isinstance(index.func, ast.Name)
+                and index.func.id == "id"):
+            return [Finding(
+                rule=RULE_ID_KEY, path=path, line=node.lineno,
+                message=("id()-based key: object addresses differ across "
+                         "runs and servers; key on a protocol identifier"),
+                analyzer=ANALYZER)]
+        return []
+
+    # -- float equality ---------------------------------------------------
+    def _float_equality(self, node: ast.AST, path: str) -> List[Finding]:
+        if not isinstance(node, ast.Compare):
+            return []
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return []
+        operands = [node.left] + list(node.comparators)
+        for operand in operands:
+            if isinstance(operand, ast.Constant) \
+                    and isinstance(operand.value, float):
+                return [Finding(
+                    rule=RULE_FLOAT_EQ, path=path, line=node.lineno,
+                    message=("exact equality against a float literal is "
+                             "replay-unstable; compare with a tolerance "
+                             "or use integers"),
+                    analyzer=ANALYZER)]
+        return []

@@ -1,0 +1,125 @@
+"""Runtime-seam enforcer.
+
+PR 2 split the stack along ``Runtime`` / ``Transport`` protocols
+(:mod:`repro.runtime.base`): protocol code asks the runtime for clocks,
+timers, and message delivery, and only the runtime adapters
+(``SimRuntime`` for deterministic simulation, ``AsyncioRuntime`` for
+real deployment) touch the event loop, sockets, or the host clock.
+That seam is what makes the same engine/daemon code runnable both under
+the simulation used for the paper's figures and on asyncio.
+
+This analyzer keeps the seam honest:
+
+* **seam-import** — protocol modules importing ``asyncio``, ``socket``,
+  ``selectors``, ``threading``, ``time``, ``signal``, ``subprocess``,
+  or ``concurrent.futures`` directly.  Any such import couples the
+  protocol to a particular runtime and breaks simulation determinism.
+* **seam-blocking-io** — calls that perform blocking filesystem I/O in
+  protocol code (``open``, ``os.fsync``, ``os.fdatasync``): durability
+  must go through the storage abstraction so the simulation can model
+  sync latency (the paper's Section 5 crash-recovery argument depends
+  on controlled sync points).
+
+Modules under the packages in :data:`SEAM_EXEMPT_PACKAGES` (the runtime
+adapters themselves, operational tools, and this analysis package) are
+exempt.  Deliberate exceptions elsewhere carry
+``# repro: allow[seam-import] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+from .common import (Finding, SourceFile, collect_py_files, iter_findings,
+                     parse_file, subpackage_of)
+
+ANALYZER = "runtime-seam"
+RULE_IMPORT = "seam-import"
+RULE_BLOCKING_IO = "seam-blocking-io"
+
+#: Subpackages of ``repro`` allowed to touch the host runtime directly.
+SEAM_EXEMPT_PACKAGES = frozenset({"runtime", "tools", "analysis"})
+
+#: Top-level modules protocol code must not import directly.
+_BANNED_MODULES = frozenset({
+    "asyncio", "socket", "selectors", "threading", "time", "signal",
+    "subprocess", "multiprocessing", "concurrent",
+})
+
+#: os functions that force blocking filesystem I/O.
+_BLOCKING_OS_FUNCS = frozenset({"fsync", "fdatasync", "sync"})
+
+
+class SeamEnforcer:
+    """Verify protocol code reaches the host only through the seam."""
+
+    def __init__(self, exempt: Optional[Set[str]] = None):
+        self.exempt = set(exempt) if exempt is not None \
+            else set(SEAM_EXEMPT_PACKAGES)
+
+    def in_scope(self, path: Path) -> bool:
+        sub = subpackage_of(path)
+        return sub is not None and sub not in self.exempt
+
+    def check_paths(self, paths: Iterable[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in collect_py_files(paths):
+            if not self.in_scope(path):
+                continue
+            source = parse_file(path)
+            findings.extend(iter_findings(self._check_source(source),
+                                          source))
+        return findings
+
+    def _check_source(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        path = str(source.path)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in _BANNED_MODULES:
+                        findings.append(Finding(
+                            rule=RULE_IMPORT, path=path, line=node.lineno,
+                            message=(f"direct import of {alias.name!r}; "
+                                     f"protocol code must use the "
+                                     f"Runtime/Transport seam "
+                                     f"(repro.runtime.base)"),
+                            analyzer=ANALYZER))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue               # relative import, in-package
+                top = (node.module or "").split(".")[0]
+                if top in _BANNED_MODULES:
+                    findings.append(Finding(
+                        rule=RULE_IMPORT, path=path, line=node.lineno,
+                        message=(f"direct import from {node.module!r}; "
+                                 f"protocol code must use the "
+                                 f"Runtime/Transport seam "
+                                 f"(repro.runtime.base)"),
+                        analyzer=ANALYZER))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._blocking_call(node, path))
+        return findings
+
+    def _blocking_call(self, node: ast.Call, path: str) -> List[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return [Finding(
+                rule=RULE_BLOCKING_IO, path=path, line=node.lineno,
+                message=("blocking open() in protocol code; durability "
+                         "goes through the storage abstraction"),
+                analyzer=ANALYZER)]
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+                and func.attr in _BLOCKING_OS_FUNCS):
+            return [Finding(
+                rule=RULE_BLOCKING_IO, path=path, line=node.lineno,
+                message=(f"os.{func.attr}() blocks in protocol code; "
+                         f"durability goes through the storage "
+                         f"abstraction"),
+                analyzer=ANALYZER)]
+        return []

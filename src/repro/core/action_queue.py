@@ -30,7 +30,7 @@ from .colors import Color
 class ActionQueue:
     """Red/green bookkeeping for one replica."""
 
-    def __init__(self, server_ids: Iterable[int]):
+    def __init__(self, server_ids: Iterable[int]) -> None:
         # global green order; index i holds position green_offset + i
         self._green: List[Action] = []
         self.green_offset = 0

@@ -21,7 +21,7 @@ Completion = Callable[[Action, int, Any], None]
 class Client:
     """A client of the replicated database."""
 
-    def __init__(self, replica: "Any", name: Optional[str] = None):
+    def __init__(self, replica: "Any", name: Optional[str] = None) -> None:
         self.replica = replica
         self.client_id = name or f"client-{next(_client_ids)}"
         self.submitted = 0

@@ -35,7 +35,7 @@ class ReplicaCluster:
                  gcs_settings: Optional[GcsSettings] = None,
                  engine_config: Optional[EngineConfig] = None,
                  trace: bool = False,
-                 observability: Optional[Observability] = None):
+                 observability: Optional[Observability] = None) -> None:
         self.server_ids = (list(server_ids) if server_ids is not None
                            else list(range(1, n + 1)))
         # Disabled by default: simulated clusters keep plain counters

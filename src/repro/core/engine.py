@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
+                    Optional, Tuple)
 
 from ..db import Action, ActionId, ActionType, Database
 from ..gcs import Configuration, GroupChannel, ServiceLevel, ViewId
@@ -101,13 +102,13 @@ class EngineStats(Mapping):
 
     __slots__ = ("_counters",)
 
-    def __init__(self, counters: Dict[str, Any]):
+    def __init__(self, counters: Dict[str, Any]) -> None:
         self._counters = counters
 
     def __getitem__(self, key: str) -> int:
         return int(self._counters[key].value)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._counters)
 
     def __len__(self) -> int:
@@ -146,7 +147,7 @@ class ReplicationEngine:
                  config: Optional[EngineConfig] = None,
                  hooks: Optional[EngineHooks] = None,
                  tracer: Optional[Tracer] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None) -> None:
         self.sim = sim
         self.server_id = server_id
         self.channel = channel
@@ -271,7 +272,8 @@ class ReplicationEngine:
     # ------------------------------------------------------------------
     # action creation and generation
     # ------------------------------------------------------------------
-    def _create_action(self, update, query, client, meta) -> Action:
+    def _create_action(self, update: Optional[Tuple], query: Optional[Tuple],
+                       client: Any, meta: dict) -> Action:
         return Action(action_id=self.next_action_id(),
                       green_line=None, client=client, query=query,
                       update=update, meta=meta,
@@ -737,7 +739,18 @@ class ReplicationEngine:
     def _on_cpc(self, msg: EngineCpcMsg) -> None:
         if self.conf is None or msg.conf_id != self.conf.view_id:
             return
-        if self.state == EngineState.CONSTRUCT:
+        if self.state in (EngineState.EXCHANGE_STATES,
+                          EngineState.EXCHANGE_ACTIONS):
+            # Completion points differ per member even under total
+            # order: a member whose local state already satisfies the
+            # retransmission plan reaches Construct (and votes) while a
+            # member still waiting for retransmissions lags behind.
+            # The vote is for this same view's attempt — every member
+            # computes the same quorum decision from the same reports —
+            # so remember it; install still only triggers below once
+            # this member reaches Construct/No itself.
+            self._cpc_received.add(msg.server_id)
+        elif self.state == EngineState.CONSTRUCT:
             self._cpc_received.add(msg.server_id)
             if self._cpc_received == set(self.conf.members):
                 for server in self.conf.members:
@@ -761,7 +774,7 @@ class ReplicationEngine:
             self._cpc_received.add(msg.server_id)
             if self._cpc_received == set(self.conf.members):
                 self._set_state(EngineState.UN)
-        # ExchangeStates: ignore (A.4); other states: stale.
+        # Other states: stale vote from a superseded attempt.
 
     def _install(self) -> None:
         """Install (A.10)."""

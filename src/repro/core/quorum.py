@@ -31,7 +31,7 @@ class QuorumPolicy:
 class DynamicLinearVoting(QuorumPolicy):
     """Weighted majority of the last installed primary component."""
 
-    def __init__(self, weights: Optional[Dict[int, float]] = None):
+    def __init__(self, weights: Optional[Dict[int, float]] = None) -> None:
         self.weights = dict(weights or {})
 
     def _weight(self, server: int) -> float:
@@ -71,7 +71,7 @@ class DynamicLinearVoting(QuorumPolicy):
 class StaticMajority(QuorumPolicy):
     """Weighted majority of the complete replica set (ablation)."""
 
-    def __init__(self, weights: Optional[Dict[int, float]] = None):
+    def __init__(self, weights: Optional[Dict[int, float]] = None) -> None:
         self.weights = dict(weights or {})
 
     def _weight(self, server: int) -> float:

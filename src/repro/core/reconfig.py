@@ -66,7 +66,7 @@ class RepresentativeRole:
     """Member-side join support: announce joiners, stream snapshots."""
 
     def __init__(self, replica: "Any", chunk_items: int = 64,
-                 chunk_size: int = 8192):
+                 chunk_size: int = 8192) -> None:
         self.replica = replica
         self.chunk_items = chunk_items
         self.chunk_size = chunk_size
@@ -166,7 +166,7 @@ class JoinerProtocol:
 
     def __init__(self, sim: "Runtime", replica: "Any", peers: List[int],
                  on_ready: Callable[[TransferHeader], None],
-                 retry_interval: float = 1.0):
+                 retry_interval: float = 1.0) -> None:
         self.sim = sim
         self.replica = replica
         self.peers = list(peers)

@@ -42,7 +42,7 @@ _STATE_CODES = {
 class _ReplicaHooks(EngineHooks):
     """Engine upcalls routed to the owning replica."""
 
-    def __init__(self, replica: "Replica"):
+    def __init__(self, replica: "Replica") -> None:
         self.replica = replica
 
     def on_green(self, action: Action, position: int, result: Any) -> None:
@@ -71,7 +71,7 @@ class Replica:
                  gcs_settings: Optional[GcsSettings] = None,
                  engine_config: Optional[EngineConfig] = None,
                  tracer: Optional[Tracer] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None) -> None:
         self.sim = sim
         self.node = node
         self.network = network

@@ -1,14 +1,28 @@
 """Engine states and the legal transition table (Figure 4).
 
-The table is used as an executable assertion: every transition the
-engine takes is validated against it, so a protocol bug surfaces as an
-immediate error instead of silent divergence.
+The table is declared *per input*: for each of the five event kinds the
+engine reacts to (plus client requests), :data:`EDGES_BY_INPUT` lists
+the Figure-4 edges that event may trigger.  Everything else derives
+from that single declaration:
+
+* :data:`EDGES` — the flat set of legal directed edges;
+* :data:`TRANSITIONS` — per-state successor sets, used as an executable
+  assertion (:func:`check_transition`): every transition the engine
+  takes is validated against it, so a protocol bug surfaces as an
+  immediate error instead of silent divergence;
+* :func:`next_states` — the possible states after handling one input
+  in a given state (self-loops are implicit: an input may always leave
+  the state unchanged).
+
+The static-analysis suite (``repro.analysis``) cross-checks this table
+against the ``_set_state`` calls and state guards of the engine source,
+so the declaration, the code, and the paper stay in sync mechanically.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Tuple
 
 
 class EngineState(Enum):
@@ -27,43 +41,88 @@ class EngineState(Enum):
         return self.value
 
 
-#: state -> set of states reachable in one transition (Figure 4 edges;
-#: self-loops are implicit and always allowed).
-TRANSITIONS: Dict[EngineState, FrozenSet[EngineState]] = {
-    EngineState.NON_PRIM: frozenset({
-        EngineState.EXCHANGE_STATES,
+class EngineInput(Enum):
+    """The six input kinds driving the Figure-4 machine."""
+
+    ACTION = "action"            # action message delivered by the GCS
+    REG_CONF = "reg_conf"        # regular configuration notification
+    TRANS_CONF = "trans_conf"    # transitional configuration
+    STATE_MSG = "state_msg"      # exchange state message
+    CPC_MSG = "cpc_msg"          # create-primary-component vote
+    CLIENT = "client"            # client request submitted locally
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_S = EngineState
+Edge = Tuple[EngineState, EngineState]
+
+#: input -> the Figure-4 edges that input may trigger.  Self-loops are
+#: implicit (any input may leave the state unchanged) and not listed.
+EDGES_BY_INPUT: Dict[EngineInput, FrozenSet[Edge]] = {
+    # An action in Un proves somebody installed the attempted primary
+    # (transition 1b); a retransmitted action in ExchangeActions may
+    # complete the retransmission plan and end the exchange either way.
+    EngineInput.ACTION: frozenset({
+        (_S.UN, _S.TRANS_PRIM),
+        (_S.EXCHANGE_ACTIONS, _S.CONSTRUCT),
+        (_S.EXCHANGE_ACTIONS, _S.NON_PRIM),
     }),
-    EngineState.REG_PRIM: frozenset({
-        EngineState.TRANS_PRIM,
+    # A regular configuration starts a new state exchange from every
+    # state except RegPrim: extended virtual synchrony delivers a
+    # transitional configuration first, so a regular configuration can
+    # never arrive while still in RegPrim.
+    EngineInput.REG_CONF: frozenset({
+        (_S.NON_PRIM, _S.EXCHANGE_STATES),
+        (_S.TRANS_PRIM, _S.EXCHANGE_STATES),
+        (_S.EXCHANGE_ACTIONS, _S.EXCHANGE_STATES),
+        (_S.CONSTRUCT, _S.EXCHANGE_STATES),
+        (_S.NO, _S.EXCHANGE_STATES),
+        (_S.UN, _S.EXCHANGE_STATES),
     }),
-    EngineState.TRANS_PRIM: frozenset({
-        EngineState.EXCHANGE_STATES,
+    EngineInput.TRANS_CONF: frozenset({
+        (_S.REG_PRIM, _S.TRANS_PRIM),
+        (_S.EXCHANGE_STATES, _S.NON_PRIM),
+        (_S.EXCHANGE_ACTIONS, _S.NON_PRIM),
+        (_S.CONSTRUCT, _S.NO),
     }),
-    EngineState.EXCHANGE_STATES: frozenset({
-        EngineState.EXCHANGE_ACTIONS,
-        EngineState.NON_PRIM,       # transitional conf during exchange
-        EngineState.CONSTRUCT,      # no-op retransmission fast path
-        EngineState.EXCHANGE_STATES,
+    # The last state message moves to ExchangeActions; when the
+    # retransmission plan is already satisfied locally, the same
+    # delivery continues straight to Construct or NonPrim.
+    EngineInput.STATE_MSG: frozenset({
+        (_S.EXCHANGE_STATES, _S.EXCHANGE_ACTIONS),
+        (_S.EXCHANGE_ACTIONS, _S.CONSTRUCT),
+        (_S.EXCHANGE_ACTIONS, _S.NON_PRIM),
     }),
-    EngineState.EXCHANGE_ACTIONS: frozenset({
-        EngineState.CONSTRUCT,      # quorum -> attempt install
-        EngineState.NON_PRIM,       # no quorum, or transitional conf
-        EngineState.EXCHANGE_STATES,
+    EngineInput.CPC_MSG: frozenset({
+        (_S.CONSTRUCT, _S.REG_PRIM),
+        (_S.NO, _S.UN),
     }),
-    EngineState.CONSTRUCT: frozenset({
-        EngineState.REG_PRIM,       # all CPC delivered in regular conf
-        EngineState.NO,             # transitional conf first
-        EngineState.EXCHANGE_STATES,
-    }),
-    EngineState.NO: frozenset({
-        EngineState.UN,             # remaining CPCs arrived (trans conf)
-        EngineState.EXCHANGE_STATES,  # regular conf -> new exchange
-    }),
-    EngineState.UN: frozenset({
-        EngineState.TRANS_PRIM,     # an action proves someone installed
-        EngineState.EXCHANGE_STATES,  # regular conf (stay vulnerable)
-    }),
+    # Client requests never move the machine: they are generated
+    # immediately (RegPrim/NonPrim) or buffered (everywhere else).
+    EngineInput.CLIENT: frozenset(),
 }
+
+#: All legal Figure-4 edges, independent of the triggering input.
+EDGES: FrozenSet[Edge] = frozenset(
+    edge for edges in EDGES_BY_INPUT.values() for edge in edges)
+
+#: state -> set of states reachable in one transition (Figure 4 edges;
+#: self-loops are implicit and always allowed).  Derived from
+#: :data:`EDGES_BY_INPUT` so the two views cannot drift apart.
+TRANSITIONS: Dict[EngineState, FrozenSet[EngineState]] = {
+    state: frozenset(new for old, new in EDGES if old is state)
+    for state in EngineState
+}
+
+
+def next_states(state: EngineState,
+                event: EngineInput) -> FrozenSet[EngineState]:
+    """The states possibly standing after handling ``event`` in
+    ``state`` (including ``state`` itself: inputs may be no-ops)."""
+    return frozenset({state} | {
+        new for old, new in EDGES_BY_INPUT[event] if old is state})
 
 
 class IllegalTransition(Exception):

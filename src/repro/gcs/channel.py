@@ -64,7 +64,7 @@ class ReliableChannelEndpoint(Actor):
     def __init__(self, sim: "Runtime", node: int, network: "Transport",
                  on_message: Callable[[int, Any], None],
                  retransmit_interval: float = 0.05,
-                 obs: Optional["Observability"] = None):
+                 obs: Optional["Observability"] = None) -> None:
         super().__init__(sim, name=f"chan{node}")
         self.node = node
         self.network = network

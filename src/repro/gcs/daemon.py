@@ -80,7 +80,7 @@ class GcsDaemon(Actor):
                  tracer: Optional[Tracer] = None,
                  extra_dispatch: Optional[
                      Callable[[Datagram], bool]] = None,
-                 obs: Optional["Observability"] = None):
+                 obs: Optional["Observability"] = None) -> None:
         super().__init__(sim, name=f"gcs{node}")
         self.node = node
         self.network = network

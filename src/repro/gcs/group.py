@@ -24,7 +24,7 @@ class GroupChannel(GcsListener):
     conf_handler(configuration)      — regular AND transitional confs
     """
 
-    def __init__(self, daemon: GcsDaemon):
+    def __init__(self, daemon: GcsDaemon) -> None:
         self.daemon = daemon
         self.message_handler: Optional[Callable] = None
         self.conf_handler: Optional[Callable[[Configuration], None]] = None

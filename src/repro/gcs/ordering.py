@@ -44,7 +44,7 @@ class ViewOrdering:
     """Ordering/stability bookkeeping for one regular configuration."""
 
     def __init__(self, view_id: ViewId, members: FrozenSet[int], me: int,
-                 mode: str = "sequencer"):
+                 mode: str = "sequencer") -> None:
         self.view_id = view_id
         self.members = frozenset(members)
         self.me = me

@@ -1,0 +1,14 @@
+"""Console entry point for the static-analysis suite.
+
+Installed as ``repro-analyze``; the implementation lives in
+:mod:`repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

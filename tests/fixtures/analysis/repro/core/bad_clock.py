@@ -1,0 +1,43 @@
+"""Fixture: determinism hazards in a core-like module.
+
+Never imported — parsed by the determinism-linter tests.
+"""
+
+import random
+import time
+from random import choice
+
+
+def stamp_action(action):
+    action.ts = time.time()                     # wall-clock
+
+
+def pick_representative(members):
+    return choice(sorted(members))              # global-random (alias)
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)             # global-random
+
+
+def broadcast(members, send):
+    for member in set(members):                 # unordered-iteration
+        send(member)
+
+
+def index_by_identity(table, obj):
+    table[id(obj)] = obj                        # id-key
+
+
+def is_settled(progress):
+    return progress == 1.0                      # float-equality
+
+
+def safe_patterns(members, cut, others):
+    # None of these may be flagged.
+    ordered = [m for m in sorted(set(members))]
+    count = len(set(members))
+    same = set(members) == set(others)
+    if count == 2 and cut == 3:
+        ordered.append(max(set(members)))
+    return ordered, same

@@ -1,0 +1,34 @@
+"""Fixture: engine-like class seeding state-machine violations.
+
+Never imported — parsed by the state-machine cross-checker tests.
+"""
+
+
+class EngineState:          # stand-in so the file is at least parseable
+    pass
+
+
+class BrokenEngine:
+    def _set_state(self, new):
+        self.state = new
+
+    def _on_backdoor(self, msg):
+        # Seeded violation: NonPrim -> RegPrim skips the whole
+        # exchange/construct path — not a Figure-4 edge.
+        if self.state == EngineState.NON_PRIM:
+            self._set_state(EngineState.REG_PRIM)
+
+    def _on_unguarded(self, msg):
+        # Seeded violation: no dominating state guard.
+        self._set_state(EngineState.NO)
+
+    def _on_computed(self, msg):
+        # Seeded violation: target is not a literal member.
+        if self.state == EngineState.NO:
+            self._set_state(msg.pick_state())
+
+    def _on_legal(self, msg):
+        # Declared edge (Construct -> RegPrim): no finding expected.
+        state = self.state
+        if state == EngineState.CONSTRUCT:
+            self._set_state(EngineState.REG_PRIM)

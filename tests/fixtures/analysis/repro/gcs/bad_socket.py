@@ -1,0 +1,23 @@
+"""Fixture: runtime-seam violations in a gcs-like module.
+
+Never imported — parsed by the seam-enforcer tests.
+"""
+
+import os
+import socket
+from time import monotonic
+
+
+def connect(host, port):
+    sock = socket.create_connection((host, port))
+    started = monotonic()
+    return sock, started
+
+
+def persist(path, payload):
+    fh = open(path, "wb")                       # seam-blocking-io
+    try:
+        fh.write(payload)
+        os.fsync(fh.fileno())                   # seam-blocking-io
+    finally:
+        fh.close()

@@ -1,0 +1,12 @@
+"""Fixture: violations silenced by inline suppressions.
+
+Never imported — parsed by the suppression tests.
+"""
+
+# repro: allow[seam-import] -- fixture: next-line suppression
+import socket
+
+
+def trace(clock):
+    import time  # repro: allow[seam-import] -- fixture: same-line
+    return time.time()  # repro: allow[wall-clock] -- fixture

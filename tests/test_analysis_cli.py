@@ -1,0 +1,63 @@
+"""CLI driver: exit codes, JSON report, strict gate on the live tree."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_analyzers
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_nonstrict_reports_but_exits_zero(capsys):
+    code = main([str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[undeclared-edge]" in out
+    assert "[wall-clock]" in out
+    assert "[seam-import]" in out
+
+
+def test_strict_fails_on_fixture_tree():
+    assert main(["--strict", str(FIXTURES)]) == 1
+
+
+def test_strict_passes_on_live_tree():
+    # The PR's acceptance gate: the shipped tree is finding-free.
+    assert main(["--strict", str(SRC)]) == 0
+
+
+def test_self_test_over_analysis_package():
+    assert main(["--strict", str(SRC / "analysis")]) == 0
+
+
+def test_missing_path_is_an_error(capsys):
+    assert main([str(FIXTURES / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_json_report(tmp_path):
+    report_file = tmp_path / "report.json"
+    code = main(["--json", str(report_file), str(FIXTURES)])
+    assert code == 0
+    report = json.loads(report_file.read_text())
+    assert report["counts"]["active"] > 0
+    assert report["counts"]["suppressed"] > 0
+    rules = {f["rule"] for f in report["findings"]}
+    assert {"undeclared-edge", "wall-clock", "seam-import"} <= rules
+    for finding in report["findings"]:
+        assert set(finding) == {"rule", "path", "line", "message",
+                                "analyzer", "suppressed"}
+
+
+def test_run_analyzers_sorts_findings():
+    findings = run_analyzers([FIXTURES])
+    keys = [(f.path, f.line, f.rule) for f in findings]
+    assert keys == sorted(keys)
+
+
+def test_show_suppressed_flag(capsys):
+    main(["--show-suppressed", str(FIXTURES / "repro" / "gcs")])
+    out = capsys.readouterr().out
+    assert "(suppressed)" in out

@@ -1,0 +1,74 @@
+"""Determinism linter: fixture violations, safe patterns, scoping."""
+
+from pathlib import Path
+
+from repro.analysis import DeterminismLinter
+from repro.analysis.determinism import (RULE_FLOAT_EQ, RULE_GLOBAL_RANDOM,
+                                        RULE_ID_KEY, RULE_UNORDERED_ITER,
+                                        RULE_WALL_CLOCK)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+BAD_CLOCK = FIXTURES / "repro" / "core" / "bad_clock.py"
+
+
+def findings_for(path):
+    return [f for f in DeterminismLinter().check_paths([path])
+            if not f.suppressed]
+
+
+def test_fixture_wall_clock_detected():
+    hits = [f for f in findings_for(BAD_CLOCK)
+            if f.rule == RULE_WALL_CLOCK]
+    assert len(hits) == 1
+    assert "time.time()" in hits[0].message
+
+
+def test_fixture_global_random_detected():
+    hits = [f for f in findings_for(BAD_CLOCK)
+            if f.rule == RULE_GLOBAL_RANDOM]
+    # random.uniform() and the imported-alias choice().
+    assert len(hits) == 2
+    assert any("random.uniform" in f.message for f in hits)
+    assert any("choice()" in f.message for f in hits)
+
+
+def test_fixture_unordered_iteration_detected():
+    hits = [f for f in findings_for(BAD_CLOCK)
+            if f.rule == RULE_UNORDERED_ITER]
+    assert len(hits) == 1
+
+
+def test_fixture_id_key_detected():
+    hits = [f for f in findings_for(BAD_CLOCK) if f.rule == RULE_ID_KEY]
+    assert len(hits) == 1
+
+
+def test_fixture_float_equality_detected():
+    hits = [f for f in findings_for(BAD_CLOCK)
+            if f.rule == RULE_FLOAT_EQ]
+    assert len(hits) == 1
+
+
+def test_safe_patterns_not_flagged():
+    # sorted(set(..)), len(set(..)), set equality, max(set(..)), and
+    # integer equality all live in safe_patterns() after line 34.
+    findings = findings_for(BAD_CLOCK)
+    assert all(f.line < 35 for f in findings), \
+        "\n".join(f.format() for f in findings)
+
+
+def test_out_of_scope_package_ignored(tmp_path):
+    pkg = tmp_path / "repro" / "tools"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "wallclock.py"
+    mod.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    assert DeterminismLinter().check_paths([tmp_path]) == []
+
+
+def test_live_protocol_tree_is_clean():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = [f for f in DeterminismLinter().check_paths([src])
+                if not f.suppressed]
+    assert findings == [], "\n".join(f.format() for f in findings)

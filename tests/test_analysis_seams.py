@@ -1,0 +1,68 @@
+"""Runtime-seam enforcer: fixture violations, exemptions, suppressions."""
+
+from pathlib import Path
+
+from repro.analysis import SeamEnforcer
+from repro.analysis.seams import RULE_BLOCKING_IO, RULE_IMPORT
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+BAD_SOCKET = FIXTURES / "repro" / "gcs" / "bad_socket.py"
+SUPPRESSED = FIXTURES / "repro" / "gcs" / "suppressed.py"
+
+
+def test_fixture_socket_import_detected():
+    findings = SeamEnforcer().check_paths([BAD_SOCKET])
+    imports = [f for f in findings if f.rule == RULE_IMPORT]
+    assert any("'socket'" in f.message for f in imports)
+    assert any("'time'" in f.message for f in imports)
+
+
+def test_fixture_blocking_io_detected():
+    findings = SeamEnforcer().check_paths([BAD_SOCKET])
+    blocking = [f for f in findings if f.rule == RULE_BLOCKING_IO]
+    assert len(blocking) == 2
+    assert any("open()" in f.message for f in blocking)
+    assert any("os.fsync()" in f.message for f in blocking)
+
+
+def test_suppressions_cover_fixture():
+    findings = SeamEnforcer().check_paths([SUPPRESSED])
+    assert findings, "suppressed findings should still be reported"
+    assert all(f.suppressed for f in findings), \
+        "\n".join(f.format() for f in findings if not f.suppressed)
+
+
+def test_runtime_and_tools_are_exempt(tmp_path):
+    for sub in ("runtime", "tools"):
+        pkg = tmp_path / "repro" / sub
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "adapter.py").write_text("import asyncio\nimport socket\n")
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    assert SeamEnforcer().check_paths([tmp_path]) == []
+
+
+def test_relative_imports_allowed(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("from . import records\n"
+                                "from ..runtime.base import Runtime\n")
+    assert SeamEnforcer().check_paths([tmp_path]) == []
+
+
+def test_live_tree_has_no_unsuppressed_violations():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = [f for f in SeamEnforcer().check_paths([src])
+                if not f.suppressed]
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_live_tree_suppressions_are_exactly_the_export_server():
+    # The only sanctioned seam crossings are the metrics-export helpers.
+    src = Path(__file__).parent.parent / "src" / "repro"
+    suppressed = [f for f in SeamEnforcer().check_paths([src])
+                  if f.suppressed]
+    assert suppressed
+    assert all(f.path.endswith("obs/export.py") for f in suppressed)

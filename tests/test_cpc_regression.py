@@ -1,0 +1,46 @@
+"""Regression: CPC votes arriving before this member reaches Construct.
+
+Retransmission completion points differ per member even under total
+order: a member whose local state already satisfies the plan reaches
+Construct (and sends its CPC) while a slower member is still in
+ExchangeActions waiting for retransmissions.  The engine used to drop
+those early votes, leaving the slow member stuck in Construct forever
+with an incomplete vote set — a liveness violation of Theorem 3.
+
+The scenario below is the minimal counterexample hypothesis found:
+after a 2+2 partition installs a primary on one side, a three-way split
+isolates the old primary's partner, and on heal the merged view's
+retransmission plan is already satisfied for two members but not for
+the third.
+"""
+
+from repro.core import EngineState
+
+from conftest import make_cluster
+
+
+def test_early_cpc_votes_are_buffered_not_dropped():
+    cluster = make_cluster(4)
+    cluster.start_all(settle=1.0)
+
+    submissions = 0
+
+    def submit(node):
+        nonlocal submissions
+        submissions += 1
+        cluster.replicas[node].submit(
+            ("APPEND", "log", (node, submissions)))
+        cluster.run_for(0.05)
+
+    cluster.partition([1, 3], [2, 4])
+    cluster.run_for(0.3)
+    submit(1)
+    submit(2)
+    cluster.partition([1], [2], [3, 4])
+    cluster.run_for(0.3)
+
+    cluster.heal()
+    cluster.run_for(5.0)
+    cluster.assert_converged()
+    for replica in cluster.replicas.values():
+        assert replica.engine.state is EngineState.REG_PRIM
