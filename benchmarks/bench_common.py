@@ -37,11 +37,12 @@ def paper_disk() -> DiskProfile:
 
 
 def engine_factory(seed: int = 0, forced_writes: bool = True,
-                   observability: Optional[Any] = None):
+                   observability: Optional[Any] = None,
+                   gcs_settings: Optional[Any] = None):
     def build():
         return EngineSystem(
             N_REPLICAS, seed=seed, network_profile=lan_profile(),
-            disk_profile=paper_disk(),
+            disk_profile=paper_disk(), gcs_settings=gcs_settings,
             engine_config=EngineConfig(
                 forced_client_writes=forced_writes),
             observability=observability)

@@ -14,10 +14,10 @@ through them:
 * ``membership_cost``  — the Experiment E6 fault schedule (partitions
   and heals with traffic), which exercises view changes, flush, and
   recovery paths;
-* ``runtime_adapter``  — a dispatch microbenchmark of ``SimRuntime``
-  (the Runtime-protocol face of the kernel) against the bare
-  ``Simulator``; the run *fails* if the adapter costs more than 2%,
-  guarding the zero-cost-abstraction claim of the runtime layer.
+* ``runtime_adapter``  — guards the zero-cost-abstraction claim of the
+  runtime layer: a structural check that ``SimRuntime`` overrides
+  nothing on the kernel ``Simulator`` (the exact claim), plus a
+  dispatch microbenchmark that fails on gross wall-clock regressions.
 
 For each scenario it records wall seconds, total events dispatched,
 events/sec, total simulated seconds, and the peak kernel heap size,
@@ -59,6 +59,7 @@ from bench_common import (BENCH_WALLCLOCK_PATH, CLIENT_COUNTS,
 from repro.bench import sweep_clients
 from repro.core import ReplicaCluster
 from repro.gcs import GcsSettings
+from repro.net import WireBatchConfig
 from repro.obs import Observability
 from repro.runtime import SimRuntime
 from repro.sim import Simulator
@@ -139,8 +140,101 @@ def scenario_membership(smoke: bool = False) -> Dict[str, Any]:
     })
 
 
+#: max_batch sweep of the wire_batching scenario (1 = batching off).
+WIRE_SWEEP = [1, 4, 16, 64]
+
+
+def _wire_run(settings: GcsSettings,
+              actions: int) -> Tuple[Dict[str, Any], str]:
+    """Open-loop burst on 5 replicas: every action submitted at node 1
+    up front, run until all are green everywhere.  The sustained
+    per-node send rate is what engages (or doesn't) the coalescer."""
+    start = time.perf_counter()
+    cluster = ReplicaCluster(
+        n=5, seed=0, gcs_settings=settings,
+        disk_profile=DiskProfile(forced_write_latency=0.001))
+    cluster.start_all(settle=1.5)
+    client = cluster.client(1)
+    base_green = cluster.replicas[1].green_count
+    for i in range(actions):
+        client.submit(("INC", "n", 1))
+    deadline = cluster.sim.now + 120.0
+    while cluster.replicas[1].green_count - base_green < actions:
+        if cluster.sim.now >= deadline:
+            raise SystemExit("wire_batching scenario stalled")
+        cluster.run_for(0.25)
+    cluster.assert_converged()
+    wall = time.perf_counter() - start
+    stats = {
+        "wall_seconds": round(wall, 3),
+        "events": cluster.sim.events_processed,
+        "sim_seconds": round(cluster.sim.now, 3),
+        "datagrams": cluster.network.datagrams_sent,
+        "bytes_sent": cluster.network.bytes_sent,
+        "actions_per_wall_sec": round(actions / wall, 1),
+    }
+    return stats, cluster.replicas[1].database.digest()
+
+
+def scenario_wire_batching(smoke: bool = False) -> Dict[str, Any]:
+    """Wire-batching ablation: the burst workload across the
+    ``max_batch`` sweep, plus an unbatched reference run.
+
+    Guards in-scenario: ``max_batch = 1`` must be *bit-identical* to
+    the unbatched default (no batcher object is even constructed), and
+    every variant must converge to the same database digest — batching
+    may only change datagram counts and wall clock, never the protocol.
+    """
+    actions = 200 if smoke else 2000
+    sweep = [1, 16] if smoke else WIRE_SWEEP
+    reference, ref_digest = _wire_run(GcsSettings(), actions)
+    variants: Dict[str, Dict[str, Any]] = {}
+    digests = {}
+    for max_batch in sweep:
+        stats, digest = _wire_run(
+            GcsSettings(wire=WireBatchConfig(max_batch=max_batch)),
+            actions)
+        variants[str(max_batch)] = stats
+        digests[max_batch] = digest
+    if (variants["1"]["events"], variants["1"]["datagrams"]) \
+            != (reference["events"], reference["datagrams"]):
+        raise SystemExit(
+            f"max_batch=1 diverged from the unbatched datapath: "
+            f"{variants['1']['events']} events / "
+            f"{variants['1']['datagrams']} datagrams vs reference "
+            f"{reference['events']} / {reference['datagrams']}")
+    if any(digest != ref_digest for digest in digests.values()):
+        raise SystemExit(f"wire batching changed the replicated state: "
+                         f"{digests} vs {ref_digest}")
+    top = str(sweep[-1])
+    wall = sum(v["wall_seconds"] for v in variants.values())
+    events = sum(v["events"] for v in variants.values())
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall else 0.0,
+        "sim_seconds": round(sum(v["sim_seconds"]
+                                 for v in variants.values()), 3),
+        "peak_heap": 0,
+        "actions": actions,
+        "variants": variants,
+        "datagram_reduction": round(
+            variants["1"]["datagrams"] / variants[top]["datagrams"], 2),
+        "events_reduction": round(
+            variants["1"]["events"] / variants[top]["events"], 2),
+    }
+
+
 # Maximum tolerated SimRuntime dispatch overhead vs the bare kernel.
-ADAPTER_OVERHEAD_LIMIT = 0.02
+# This is a *gross-wrap* budget, not a precision gate: measuring two
+# different type objects in one process is exposed to import-set and
+# memory-layout luck (the same unchanged code reads anywhere from -12%
+# to +12% on a warm box depending on which modules were imported
+# first), so a tight budget just gates on interpreter trivia.  Real
+# wrapping — a delegating post() — costs ~2x and trips this instantly;
+# the *exact* zero-cost claim is enforced structurally below: the
+# scenario fails if SimRuntime overrides anything at all.
+ADAPTER_OVERHEAD_LIMIT = 0.25
 
 
 def _drive_dispatch(sim: Simulator, chains: int, depth: int) -> float:
@@ -171,10 +265,22 @@ def _drive_dispatch(sim: Simulator, chains: int, depth: int) -> float:
 def scenario_runtime_adapter(smoke: bool = False) -> Dict[str, Any]:
     """SimRuntime must be free: same dispatch loop as the bare kernel.
 
-    Interleaved best-of-N of the identical workload on ``Simulator``
-    and ``SimRuntime``; asserts the adapter overhead stays under
-    ``ADAPTER_OVERHEAD_LIMIT``.
+    The exact claim — that the adapter wraps *nothing* — is checked
+    structurally: ``SimRuntime`` may not define any attribute beyond
+    metadata, so every ``post``/``schedule`` resolves to the kernel's
+    own function object.  The interleaved best-of-N wall-clock
+    comparison then only guards against a gross regression (real
+    delegation costs ~2x); see ``ADAPTER_OVERHEAD_LIMIT``.
     """
+    _METADATA = {"__module__", "__qualname__", "__doc__", "__slots__",
+                 "__firstlineno__", "__static_attributes__"}
+    overrides = sorted(set(vars(SimRuntime)) - _METADATA)
+    if overrides:
+        raise SystemExit(
+            f"SimRuntime is no longer a zero-override subclass of the "
+            f"kernel Simulator: it defines {overrides}.  The Runtime "
+            f"seam must stay free on the simulator — move the logic "
+            f"into the kernel or behind the seam instead of wrapping.")
     chains, depth = (8, 50_000) if smoke else (8, 125_000)
     rounds = 8
     walls = {"kernel": [], "adapter": []}
@@ -324,6 +430,7 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "membership_cost": scenario_membership,
     "runtime_adapter": scenario_runtime_adapter,
     "obs_overhead": scenario_obs_overhead,
+    "wire_batching": scenario_wire_batching,
 }
 
 

@@ -13,6 +13,7 @@ the merge.
 Run:  python examples/live_cluster.py            # three processes, UDP
       python examples/live_cluster.py --in-process   # one process
       python examples/live_cluster.py --metrics-port 9100   # + /metrics
+      python examples/live_cluster.py --wire-batch 16   # coalesced wire
 
 The multi-process mode binds all UDP sockets in the parent and forks,
 so children never race for ports.  Exit code 0 means every node
@@ -47,6 +48,15 @@ def banner(text):
     print(f"\n=== {text} " + "=" * max(0, 60 - len(text)), flush=True)
 
 
+def cluster_settings(wire_batch):
+    """Live-tuned GCS settings, with wire batching when requested."""
+    if wire_batch is None or wire_batch <= 1:
+        return None       # cluster default: unbatched datapath
+    from repro.net import WireBatchConfig
+    from repro.runtime import live_gcs_settings
+    return live_gcs_settings(wire=WireBatchConfig(max_batch=wire_batch))
+
+
 async def scrape_own_metrics(cluster, label):
     """Self-scrape the cluster's HTTP endpoint and lint the exposition
     text; raises if the scrape would not ingest cleanly."""
@@ -65,13 +75,14 @@ async def scrape_own_metrics(cluster, label):
 
 
 async def drive_node(node, addresses, sockets, start_at, results,
-                     metrics_port=None):
+                     metrics_port=None, wire_batch=None):
     """One node's life: boot, serve, partition, merge, report."""
     from repro.core.state_machine import EngineState
     from repro.runtime import udp_cluster
 
     cluster = udp_cluster(SERVER_IDS, hosted=[node],
-                          addresses=addresses, sockets=sockets)
+                          addresses=addresses, sockets=sockets,
+                          gcs_settings=cluster_settings(wire_batch))
     if metrics_port is not None:
         # One endpoint per process; a fixed base port spreads out as
         # base+node-1, port 0 stays OS-assigned everywhere.
@@ -114,17 +125,19 @@ async def drive_node(node, addresses, sockets, start_at, results,
 
 
 def node_process(node, addresses, sockets, start_at, results,
-                 metrics_port=None):
+                 metrics_port=None, wire_batch=None):
     try:
         asyncio.run(drive_node(node, addresses, sockets, start_at, results,
-                               metrics_port))
+                               metrics_port, wire_batch))
     except Exception as failure:  # pragma: no cover - report, don't hang
         results.put((node, "ERROR", repr(failure)))
         raise
 
 
-def run_multiprocess(metrics_port=None):
-    banner("three processes, UDP loopback")
+def run_multiprocess(metrics_port=None, wire_batch=None):
+    banner("three processes, UDP loopback"
+           + (f", wire batching x{wire_batch}"
+              if wire_batch and wire_batch > 1 else ""))
     # Parent binds every socket, children inherit them: no port races,
     # and the address map is exact before any process starts.
     sockets = {}
@@ -145,7 +158,7 @@ def run_multiprocess(metrics_port=None):
         proc = ctx.Process(
             target=node_process, name=f"replica-{node}",
             args=(node, addresses, {node: sockets[node]}, start_at,
-                  results, metrics_port))
+                  results, metrics_port, wire_batch))
         proc.start()
         workers.append(proc)
     for sock in sockets.values():
@@ -164,13 +177,16 @@ def run_multiprocess(metrics_port=None):
     return reports
 
 
-def run_in_process(metrics_port=None):
-    banner("single process, in-memory transport")
+def run_in_process(metrics_port=None, wire_batch=None):
+    banner("single process, in-memory transport"
+           + (f", wire batching x{wire_batch}"
+              if wire_batch and wire_batch > 1 else ""))
 
     async def main():
         from repro.core.state_machine import EngineState
         from repro.runtime import LiveCluster
-        cluster = LiveCluster(SERVER_IDS)
+        cluster = LiveCluster(SERVER_IDS,
+                              gcs_settings=cluster_settings(wire_batch))
         if metrics_port is not None:
             server = await cluster.serve_metrics(port=metrics_port)
             print(f"metrics on 127.0.0.1:{server.port}", flush=True)
@@ -232,11 +248,16 @@ def main():
                         help="serve /metrics and /status per hosting "
                              "process (0 = OS-assigned ports); each node "
                              "self-scrapes and lints before reporting")
+    parser.add_argument("--wire-batch", type=int, default=None,
+                        metavar="N",
+                        help="coalesce up to N protocol payloads per "
+                             "datagram (wire batching; <=1 = off, the "
+                             "bit-identical unbatched datapath)")
     args = parser.parse_args()
     if args.in_process:
-        reports = run_in_process(args.metrics_port)
+        reports = run_in_process(args.metrics_port, args.wire_batch)
     else:
-        reports = run_multiprocess(args.metrics_port)
+        reports = run_multiprocess(args.metrics_port, args.wire_batch)
     return check(reports)
 
 

@@ -19,10 +19,16 @@ This analyzer keeps the seam honest:
   must go through the storage abstraction so the simulation can model
   sync latency (the paper's Section 5 crash-recovery argument depends
   on controlled sync points).
+* **seam-framing** — imports of :mod:`struct` anywhere but
+  :mod:`repro.net.codec`.  The binary wire format lives in exactly one
+  module; scattering struct-level framing invites version skew between
+  encoders and decoders.  Unlike the other rules this one also covers
+  the otherwise-exempt packages (a runtime adapter hand-packing frames
+  would bypass the codec's versioned header just as badly).
 
 Modules under the packages in :data:`SEAM_EXEMPT_PACKAGES` (the runtime
 adapters themselves, operational tools, and this analysis package) are
-exempt.  Deliberate exceptions elsewhere carry
+exempt from the seam rules.  Deliberate exceptions elsewhere carry
 ``# repro: allow[seam-import] -- reason``.
 """
 
@@ -33,11 +39,12 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Set
 
 from .common import (Finding, SourceFile, collect_py_files, iter_findings,
-                     parse_file, subpackage_of)
+                     module_parts, parse_file, subpackage_of)
 
 ANALYZER = "runtime-seam"
 RULE_IMPORT = "seam-import"
 RULE_BLOCKING_IO = "seam-blocking-io"
+RULE_FRAMING = "seam-framing"
 
 #: Subpackages of ``repro`` allowed to touch the host runtime directly.
 SEAM_EXEMPT_PACKAGES = frozenset({"runtime", "tools", "analysis"})
@@ -51,6 +58,12 @@ _BANNED_MODULES = frozenset({
 #: os functions that force blocking filesystem I/O.
 _BLOCKING_OS_FUNCS = frozenset({"fsync", "fdatasync", "sync"})
 
+#: Modules that constitute struct-level wire framing.
+_FRAMING_MODULES = frozenset({"struct"})
+
+#: The one module allowed to own the binary wire format.
+_CODEC_MODULE = ("repro", "net", "codec")
+
 
 class SeamEnforcer:
     """Verify protocol code reaches the host only through the seam."""
@@ -63,24 +76,34 @@ class SeamEnforcer:
         sub = subpackage_of(path)
         return sub is not None and sub not in self.exempt
 
+    def in_framing_scope(self, path: Path) -> bool:
+        """Framing applies to every repro module except the codec —
+        including the seam-exempt packages."""
+        if subpackage_of(path) is None:
+            return False
+        return module_parts(path)[-3:] != _CODEC_MODULE
+
     def check_paths(self, paths: Iterable[Path]) -> List[Finding]:
         findings: List[Finding] = []
         for path in collect_py_files(paths):
-            if not self.in_scope(path):
+            seam = self.in_scope(path)
+            framing = self.in_framing_scope(path)
+            if not seam and not framing:
                 continue
             source = parse_file(path)
-            findings.extend(iter_findings(self._check_source(source),
-                                          source))
+            findings.extend(iter_findings(
+                self._check_source(source, seam, framing), source))
         return findings
 
-    def _check_source(self, source: SourceFile) -> List[Finding]:
+    def _check_source(self, source: SourceFile, seam: bool = True,
+                      framing: bool = True) -> List[Finding]:
         findings: List[Finding] = []
         path = str(source.path)
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     top = alias.name.split(".")[0]
-                    if top in _BANNED_MODULES:
+                    if seam and top in _BANNED_MODULES:
                         findings.append(Finding(
                             rule=RULE_IMPORT, path=path, line=node.lineno,
                             message=(f"direct import of {alias.name!r}; "
@@ -88,11 +111,14 @@ class SeamEnforcer:
                                      f"Runtime/Transport seam "
                                      f"(repro.runtime.base)"),
                             analyzer=ANALYZER))
+                    if framing and top in _FRAMING_MODULES:
+                        findings.append(self._framing_finding(
+                            node.lineno, path, alias.name))
             elif isinstance(node, ast.ImportFrom):
                 if node.level:
                     continue               # relative import, in-package
                 top = (node.module or "").split(".")[0]
-                if top in _BANNED_MODULES:
+                if seam and top in _BANNED_MODULES:
                     findings.append(Finding(
                         rule=RULE_IMPORT, path=path, line=node.lineno,
                         message=(f"direct import from {node.module!r}; "
@@ -100,9 +126,21 @@ class SeamEnforcer:
                                  f"Runtime/Transport seam "
                                  f"(repro.runtime.base)"),
                         analyzer=ANALYZER))
-            elif isinstance(node, ast.Call):
+                if framing and top in _FRAMING_MODULES:
+                    findings.append(self._framing_finding(
+                        node.lineno, path, node.module or top))
+            elif seam and isinstance(node, ast.Call):
                 findings.extend(self._blocking_call(node, path))
         return findings
+
+    def _framing_finding(self, line: int, path: str,
+                         module: str) -> Finding:
+        return Finding(
+            rule=RULE_FRAMING, path=path, line=line,
+            message=(f"import of {module!r} outside repro.net.codec; "
+                     f"the binary wire format lives in exactly one "
+                     f"module"),
+            analyzer=ANALYZER)
 
     def _blocking_call(self, node: ast.Call, path: str) -> List[Finding]:
         func = node.func

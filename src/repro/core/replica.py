@@ -16,7 +16,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
 from ..db import Action, ActionId, ActionType, Database, DirtyView
 from ..gcs import (GcsDaemon, GcsSettings, GroupChannel,
                    ReliableChannelEndpoint)
-from ..net import Datagram
+from ..net import Datagram, WireBatcher
 from ..obs import Observability
 from ..sim import ServiceQueue, Timer, Tracer
 from ..storage import DiskProfile, SimulatedDisk, StableStore, WriteAheadLog
@@ -87,14 +87,25 @@ class Replica:
         self.database = Database()
         self.dirty_view = DirtyView(self.database)
 
+        # One wire batcher per node, shared by the GCS daemon and the
+        # reliable channel endpoint so their traffic coalesces into
+        # common frames.  Disabled (the default) means no batcher
+        # object at all: the datapath is bit-identical to the
+        # unbatched protocol.
+        self.gcs_settings = gcs_settings or GcsSettings()
+        wire = self.gcs_settings.wire
+        self.batcher: Optional[WireBatcher] = (
+            WireBatcher(sim, node, network, wire, obs=self.obs)
+            if wire.enabled else None)
         self.daemon = GcsDaemon(sim, node, network, directory,
-                                gcs_settings, self.tracer,
+                                self.gcs_settings, self.tracer,
                                 extra_dispatch=self._extra_dispatch,
-                                obs=self.obs)
+                                obs=self.obs, batcher=self.batcher)
         self.channel = GroupChannel(self.daemon)
-        self.endpoint = ReliableChannelEndpoint(sim, node, network,
-                                                self._on_channel_message,
-                                                obs=self.obs)
+        self.endpoint = ReliableChannelEndpoint(
+            sim, node, network, self._on_channel_message, obs=self.obs,
+            batcher=self.batcher,
+            ack_delay=wire.ack_delay if wire.enabled else 0.0)
         self.engine = ReplicationEngine(
             sim, node, self.channel, self.store, self.database,
             self.server_ids, self.engine_config, _ReplicaHooks(self),

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import FrozenSet, NamedTuple, Optional, Tuple
 
+from ..net.batching import WireBatchConfig
+
 
 class ServiceLevel(Enum):
     """Delivery guarantees, weakest to strongest.
@@ -100,6 +102,10 @@ class GcsSettings:
     ordering_mode: str = "sequencer"
     token_hold: float = 0.0001
     token_timeout: float = 0.5
+    # Wire batching (repro.net.batching): disabled by default
+    # (max_batch=1), in which case no batcher is constructed and the
+    # datapath is bit-identical to the unbatched protocol.
+    wire: WireBatchConfig = field(default_factory=WireBatchConfig)
 
 
 # ----------------------------------------------------------------------

@@ -4,6 +4,7 @@ Unreliable datagram fabric with latency/bandwidth/loss models, a
 partition/crash topology, and scripted or randomized fault injection.
 """
 
+from .batching import Batch, WireBatchConfig, WireBatcher
 from .faults import FaultEvent, FaultScript, random_fault_schedule
 from .latency import (NetworkProfile, lan_profile,
                       lossless_instant_profile, wan_profile)
@@ -11,7 +12,12 @@ from .message import Datagram
 from .network import Network
 from .topology import Topology, TopologyError
 
+# NOTE: repro.net.codec is intentionally *not* imported here — it
+# depends on repro.gcs (message types), which depends back on this
+# package; the live transports import it directly.
+
 __all__ = [
+    "Batch",
     "Datagram",
     "FaultEvent",
     "FaultScript",
@@ -19,6 +25,8 @@ __all__ = [
     "NetworkProfile",
     "Topology",
     "TopologyError",
+    "WireBatchConfig",
+    "WireBatcher",
     "lan_profile",
     "lossless_instant_profile",
     "random_fault_schedule",

@@ -1,0 +1,379 @@
+"""Struct-packed binary wire codec for live transports.
+
+``AsyncioTransport`` used to pickle every datagram separately; this
+module replaces that with a compact framed format:
+
+frame   := magic(u8) version(u8) src(i32) item
+item    := tag(u8) length(u32) body
+body    := struct-packed fields of the hot message types; nested
+           application payloads recurse into another *item*
+
+Hot GCS/channel message types get dedicated encoders (a DataMsg header
+packs to 22 bytes vs ~200 for its pickle); everything else — engine
+messages, snapshot chunks, arbitrary application payloads — falls back
+to the :data:`TAG_PICKLE` escape hatch, so the codec never constrains
+what the protocol can carry.  A :class:`Batch` encodes its entries
+recursively, so one UDP datagram carries many compact payloads.
+
+Trust model: the pickle escape hatch means frames must only be accepted
+from trusted endpoints, exactly like the previous all-pickle format —
+every node of a deployment is part of one trust domain (the same
+assumption ``multiprocessing`` makes).  Do not expose transport ports
+to untrusted networks.  Malformed or truncated frames raise
+:class:`CodecError`, which receive loops turn into a counted drop —
+garbage off the wire must never crash the daemon.
+
+This is deliberately the **only** module in the repository that touches
+``struct``-level framing (enforced by ``repro.analysis.seams``): one
+place to audit wire compatibility, one place to bump ``VERSION``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..gcs.channel import ChanAck, ChanData
+from ..gcs.types import (AckMsg, DataMsg, HeartbeatMsg, NackMsg,
+                         RetransDataMsg, ServiceLevel, StampMsg, TokenMsg,
+                         ViewId)
+from .batching import Batch
+
+
+class CodecError(ValueError):
+    """A frame failed to decode (truncated, garbled, unknown tag)."""
+
+
+MAGIC = 0xC3
+VERSION = 1
+
+TAG_PICKLE = 0
+TAG_BATCH = 1
+TAG_DATA = 2
+TAG_STAMP = 3
+TAG_ACK = 4
+TAG_HEARTBEAT = 5
+TAG_TOKEN = 6
+TAG_NACK = 7
+TAG_RETRANS = 8
+TAG_CHANDATA = 9
+TAG_CHANACK = 10
+
+_HEADER = struct.Struct("!BBi")          # magic, version, src
+_ITEM = struct.Struct("!BI")             # tag, body length
+_COUNT = struct.Struct("!I")
+_DATA = struct.Struct("!iiiqBi")         # view, origin, fifo, svc, size
+_STAMP_ENTRY = struct.Struct("!qiq")     # seq, origin, fifo_seq
+_VIEW_COUNT = struct.Struct("!iiI")      # view + entry count
+_ACK = struct.Struct("!iiiq")            # view, node, ack_seq
+_HEARTBEAT = struct.Struct("!iB")        # node, flags
+_VIEW = struct.Struct("!ii")
+_SEQ = struct.Struct("!q")
+_TOKEN = struct.Struct("!iiqI")          # view, next_seq, ack count
+_TOKEN_ACK = struct.Struct("!iq")        # member, ack_seq
+_NACK = struct.Struct("!iiiqI")          # view, node, want, missing count
+_RETRANS_ITEM = struct.Struct("!qiqBi")  # seq, origin, fifo, svc, size
+_CHANDATA = struct.Struct("!iqi")        # src, seq, size
+_CHANACK = struct.Struct("!iq")          # src, ack_seq
+_SIZE = struct.Struct("!i")
+
+_SERVICE_INDEX = {level: index for index, level
+                  in enumerate(ServiceLevel)}
+_SERVICE_BY_INDEX = tuple(ServiceLevel)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _enc_view(view_id: ViewId) -> bytes:
+    return _VIEW.pack(view_id.epoch, view_id.coordinator)
+
+
+def _enc_data(msg: DataMsg) -> bytes:
+    return (_DATA.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                       msg.origin, msg.fifo_seq,
+                       _SERVICE_INDEX[msg.service], msg.size)
+            + encode_payload(msg.payload))
+
+
+def _enc_stamp(msg: StampMsg) -> bytes:
+    parts = [_VIEW_COUNT.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                              len(msg.stamps))]
+    parts.extend(_STAMP_ENTRY.pack(*stamp) for stamp in msg.stamps)
+    return b"".join(parts)
+
+
+def _enc_ack(msg: AckMsg) -> bytes:
+    return _ACK.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                     msg.node, msg.ack_seq)
+
+
+def _enc_heartbeat(msg: HeartbeatMsg) -> bytes:
+    flags = (1 if msg.joined else 0) | (2 if msg.view_id is not None else 0)
+    body = _HEARTBEAT.pack(msg.node, flags)
+    if msg.view_id is not None:
+        body += _enc_view(msg.view_id)
+    return body + _SEQ.pack(msg.ack_seq)
+
+
+def _enc_token(msg: TokenMsg) -> bytes:
+    parts = [_TOKEN.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                         msg.next_seq, len(msg.acks))]
+    parts.extend(_TOKEN_ACK.pack(member, ack) for member, ack in msg.acks)
+    return b"".join(parts)
+
+
+def _enc_nack(msg: NackMsg) -> bytes:
+    parts = [_NACK.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                        msg.node, msg.want_stamps_from,
+                        len(msg.missing_data))]
+    parts.extend(_SEQ.pack(seq) for seq in msg.missing_data)
+    return b"".join(parts)
+
+
+def _enc_retrans(msg: RetransDataMsg) -> bytes:
+    parts = [_VIEW_COUNT.pack(msg.view_id.epoch, msg.view_id.coordinator,
+                              len(msg.items))]
+    for seq, origin, fifo_seq, payload, service, size in msg.items:
+        parts.append(_RETRANS_ITEM.pack(seq, origin, fifo_seq,
+                                        _SERVICE_INDEX[service], size))
+        parts.append(encode_payload(payload))
+    return b"".join(parts)
+
+
+def _enc_chandata(msg: ChanData) -> bytes:
+    return (_CHANDATA.pack(msg.src, msg.seq, msg.size)
+            + encode_payload(msg.payload))
+
+
+def _enc_chanack(msg: ChanAck) -> bytes:
+    return _CHANACK.pack(msg.src, msg.ack_seq)
+
+
+def _enc_batch(batch: Batch) -> bytes:
+    parts = [_COUNT.pack(len(batch.entries))]
+    for payload, size in batch.entries:
+        parts.append(_SIZE.pack(size))
+        parts.append(encode_payload(payload))
+    return b"".join(parts)
+
+
+_ENCODERS: Dict[type, Tuple[int, Callable[[Any], bytes]]] = {
+    DataMsg: (TAG_DATA, _enc_data),
+    StampMsg: (TAG_STAMP, _enc_stamp),
+    AckMsg: (TAG_ACK, _enc_ack),
+    HeartbeatMsg: (TAG_HEARTBEAT, _enc_heartbeat),
+    TokenMsg: (TAG_TOKEN, _enc_token),
+    NackMsg: (TAG_NACK, _enc_nack),
+    RetransDataMsg: (TAG_RETRANS, _enc_retrans),
+    ChanData: (TAG_CHANDATA, _enc_chandata),
+    ChanAck: (TAG_CHANACK, _enc_chanack),
+    Batch: (TAG_BATCH, _enc_batch),
+}
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Encode one payload as a tagged item (compact when possible,
+    pickled otherwise)."""
+    entry = _ENCODERS.get(obj.__class__)
+    if entry is not None:
+        tag, encoder = entry
+        try:
+            body = encoder(obj)
+            return _ITEM.pack(tag, len(body)) + body
+        except (struct.error, OverflowError, KeyError, TypeError):
+            # A field out of the packed range (or an exotic subtype):
+            # the escape hatch below carries it.
+            pass
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _ITEM.pack(TAG_PICKLE, len(body)) + body
+
+
+def encode_frame(src: int, payload: Any) -> bytes:
+    """Encode a complete wire frame for ``payload`` sent by ``src``."""
+    return _HEADER.pack(MAGIC, VERSION, src) + encode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _need(buf: bytes, offset: int, count: int) -> None:
+    if offset + count > len(buf):
+        raise CodecError(f"truncated frame: need {count} bytes at "
+                         f"offset {offset}, have {len(buf)}")
+
+
+def _service(index: int) -> ServiceLevel:
+    if not 0 <= index < len(_SERVICE_BY_INDEX):
+        raise CodecError(f"unknown service level {index}")
+    return _SERVICE_BY_INDEX[index]
+
+
+def _dec_pickle(body: bytes) -> Any:
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise CodecError(f"bad pickled payload: {exc!r}") from None
+
+
+def _dec_data(body: bytes) -> DataMsg:
+    _need(body, 0, _DATA.size)
+    epoch, coord, origin, fifo_seq, svc, size = _DATA.unpack_from(body, 0)
+    payload, end = _decode_item(body, _DATA.size)
+    if end != len(body):
+        raise CodecError("trailing bytes in DataMsg body")
+    return DataMsg(ViewId(epoch, coord), origin, fifo_seq, payload,
+                   _service(svc), size)
+
+
+def _dec_stamp(body: bytes) -> StampMsg:
+    _need(body, 0, _VIEW_COUNT.size)
+    epoch, coord, count = _VIEW_COUNT.unpack_from(body, 0)
+    _need(body, _VIEW_COUNT.size, count * _STAMP_ENTRY.size)
+    stamps = tuple(
+        _STAMP_ENTRY.unpack_from(body, _VIEW_COUNT.size
+                                 + i * _STAMP_ENTRY.size)
+        for i in range(count))
+    if _VIEW_COUNT.size + count * _STAMP_ENTRY.size != len(body):
+        raise CodecError("trailing bytes in StampMsg body")
+    return StampMsg(ViewId(epoch, coord), stamps)
+
+
+def _dec_ack(body: bytes) -> AckMsg:
+    if len(body) != _ACK.size:
+        raise CodecError("bad AckMsg body size")
+    epoch, coord, node, ack_seq = _ACK.unpack(body)
+    return AckMsg(ViewId(epoch, coord), node, ack_seq)
+
+
+def _dec_heartbeat(body: bytes) -> HeartbeatMsg:
+    _need(body, 0, _HEARTBEAT.size)
+    node, flags = _HEARTBEAT.unpack_from(body, 0)
+    offset = _HEARTBEAT.size
+    view_id = None
+    if flags & 2:
+        _need(body, offset, _VIEW.size)
+        view_id = ViewId(*_VIEW.unpack_from(body, offset))
+        offset += _VIEW.size
+    _need(body, offset, _SEQ.size)
+    (ack_seq,) = _SEQ.unpack_from(body, offset)
+    if offset + _SEQ.size != len(body):
+        raise CodecError("trailing bytes in HeartbeatMsg body")
+    return HeartbeatMsg(node, view_id, bool(flags & 1), ack_seq)
+
+
+def _dec_token(body: bytes) -> TokenMsg:
+    _need(body, 0, _TOKEN.size)
+    epoch, coord, next_seq, count = _TOKEN.unpack_from(body, 0)
+    _need(body, _TOKEN.size, count * _TOKEN_ACK.size)
+    acks = tuple(
+        _TOKEN_ACK.unpack_from(body, _TOKEN.size + i * _TOKEN_ACK.size)
+        for i in range(count))
+    if _TOKEN.size + count * _TOKEN_ACK.size != len(body):
+        raise CodecError("trailing bytes in TokenMsg body")
+    return TokenMsg(ViewId(epoch, coord), next_seq, acks)
+
+
+def _dec_nack(body: bytes) -> NackMsg:
+    _need(body, 0, _NACK.size)
+    epoch, coord, node, want, count = _NACK.unpack_from(body, 0)
+    _need(body, _NACK.size, count * _SEQ.size)
+    missing = tuple(
+        _SEQ.unpack_from(body, _NACK.size + i * _SEQ.size)[0]
+        for i in range(count))
+    if _NACK.size + count * _SEQ.size != len(body):
+        raise CodecError("trailing bytes in NackMsg body")
+    return NackMsg(ViewId(epoch, coord), node, missing, want)
+
+
+def _dec_retrans(body: bytes) -> RetransDataMsg:
+    _need(body, 0, _VIEW_COUNT.size)
+    epoch, coord, count = _VIEW_COUNT.unpack_from(body, 0)
+    offset = _VIEW_COUNT.size
+    items: List[Tuple] = []
+    for _ in range(count):
+        _need(body, offset, _RETRANS_ITEM.size)
+        seq, origin, fifo_seq, svc, size = \
+            _RETRANS_ITEM.unpack_from(body, offset)
+        payload, offset = _decode_item(body, offset + _RETRANS_ITEM.size)
+        items.append((seq, origin, fifo_seq, payload, _service(svc), size))
+    if offset != len(body):
+        raise CodecError("trailing bytes in RetransDataMsg body")
+    return RetransDataMsg(ViewId(epoch, coord), tuple(items))
+
+
+def _dec_chandata(body: bytes) -> ChanData:
+    _need(body, 0, _CHANDATA.size)
+    src, seq, size = _CHANDATA.unpack_from(body, 0)
+    payload, end = _decode_item(body, _CHANDATA.size)
+    if end != len(body):
+        raise CodecError("trailing bytes in ChanData body")
+    return ChanData(src, seq, payload, size)
+
+
+def _dec_chanack(body: bytes) -> ChanAck:
+    if len(body) != _CHANACK.size:
+        raise CodecError("bad ChanAck body size")
+    src, ack_seq = _CHANACK.unpack(body)
+    return ChanAck(src, ack_seq)
+
+
+def _dec_batch(body: bytes) -> Batch:
+    _need(body, 0, _COUNT.size)
+    (count,) = _COUNT.unpack_from(body, 0)
+    offset = _COUNT.size
+    entries: List[Tuple[Any, int]] = []
+    for _ in range(count):
+        _need(body, offset, _SIZE.size)
+        (size,) = _SIZE.unpack_from(body, offset)
+        payload, offset = _decode_item(body, offset + _SIZE.size)
+        entries.append((payload, size))
+    if offset != len(body):
+        raise CodecError("trailing bytes in Batch body")
+    return Batch(entries)
+
+
+_DECODERS: Dict[int, Callable[[bytes], Any]] = {
+    TAG_PICKLE: _dec_pickle,
+    TAG_DATA: _dec_data,
+    TAG_STAMP: _dec_stamp,
+    TAG_ACK: _dec_ack,
+    TAG_HEARTBEAT: _dec_heartbeat,
+    TAG_TOKEN: _dec_token,
+    TAG_NACK: _dec_nack,
+    TAG_RETRANS: _dec_retrans,
+    TAG_CHANDATA: _dec_chandata,
+    TAG_CHANACK: _dec_chanack,
+    TAG_BATCH: _dec_batch,
+}
+
+
+def _decode_item(buf: bytes, offset: int) -> Tuple[Any, int]:
+    _need(buf, offset, _ITEM.size)
+    tag, length = _ITEM.unpack_from(buf, offset)
+    offset += _ITEM.size
+    _need(buf, offset, length)
+    body = buf[offset:offset + length]
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown payload tag {tag}")
+    return decoder(body), offset + length
+
+
+def decode_frame(blob: bytes) -> Tuple[int, Any]:
+    """Decode one wire frame; returns ``(src, payload)``.
+
+    Raises :class:`CodecError` on anything malformed — callers count a
+    drop and carry on, mirroring UDP semantics.
+    """
+    _need(blob, 0, _HEADER.size)
+    magic, version, src = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic byte 0x{magic:02x}")
+    if version != VERSION:
+        raise CodecError(f"unsupported wire version {version}")
+    payload, end = _decode_item(blob, _HEADER.size)
+    if end != len(blob):
+        raise CodecError("trailing bytes after frame payload")
+    return src, payload

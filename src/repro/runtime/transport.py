@@ -7,7 +7,8 @@ Two backends for the asyncio runtime:
   latency.  No sockets, no serialization; the backend of choice for
   conformance tests and single-process live clusters.
 * :class:`AsyncioTransport` — real UDP sockets (one per hosted node,
-  loopback or LAN), pickle-framed datagrams, non-blocking receive via
+  loopback or LAN), datagrams framed by the struct-packed binary codec
+  (:mod:`repro.net.codec`), non-blocking receive via
   ``loop.add_reader``.  A process hosts any subset of the cluster's
   nodes; the address map names them all.
 
@@ -25,10 +26,10 @@ machinery is built for.
 
 from __future__ import annotations
 
-import pickle
 import socket
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..net import codec
 from ..net.message import Datagram
 from .asyncio_runtime import AsyncioRuntime
 
@@ -143,10 +144,17 @@ class AsyncioTransport:
     (``open(node, sock=...)``), which lets a parent process bind all
     ports race-free and fork the cluster.
 
-    Wire format: ``pickle((src, dst, size, payload))``.  Pickle is
-    acceptable here for the same reason it is in multiprocessing:
-    every endpoint is part of one trusted deployment.  Do not expose
+    Wire format: the struct-packed frames of :mod:`repro.net.codec`
+    (compact encoders for the hot protocol messages, pickle escape
+    hatch for everything else).  The escape hatch means frames are only
+    safe from trusted endpoints — every node of a deployment is part of
+    one trust domain, exactly as with multiprocessing.  Do not expose
     these ports to untrusted networks.
+
+    ``bytes_sent`` counts *real encoded bytes* handed to the kernel
+    (loopback deliveries count their declared size — they are never
+    encoded); received ``Datagram.size`` is the actual frame length,
+    not the sender's hand-estimate.
     """
 
     def __init__(self, runtime: AsyncioRuntime,
@@ -220,14 +228,15 @@ class AsyncioTransport:
         blob: Optional[bytes] = None
         for dst in dsts:
             self.datagrams_sent += 1
-            self.bytes_sent += size
             if not self.filter.allows(src, dst):
                 self.datagrams_dropped += 1
                 continue
             if dst == src:
                 # Loopback without a kernel round-trip, but still
                 # asynchronous: the handler runs on a later loop tick,
-                # never re-entrantly inside the send.
+                # never re-entrantly inside the send.  Never encoded,
+                # so billed at its declared size.
+                self.bytes_sent += size
                 self.runtime.loop.call_soon(
                     self._local_deliver,
                     Datagram(src, dst, payload, size, self.runtime.now))
@@ -237,12 +246,12 @@ class AsyncioTransport:
                 self.datagrams_dropped += 1
                 continue
             if blob is None:
-                blob = pickle.dumps((src, size, payload),
-                                    protocol=pickle.HIGHEST_PROTOCOL)
+                blob = codec.encode_frame(src, payload)
                 if len(blob) > _MAX_DGRAM:
                     raise ValueError(
                         f"datagram payload too large for UDP: "
                         f"{len(blob)} bytes ({type(payload).__name__})")
+            self.bytes_sent += len(blob)
             try:
                 sock.sendto(blob, addr)
             except OSError:
@@ -273,8 +282,10 @@ class AsyncioTransport:
             except OSError:  # pragma: no cover - socket torn down
                 return
             try:
-                src, size, payload = pickle.loads(blob)
-            except Exception:  # pragma: no cover - malformed datagram
+                src, payload = codec.decode_frame(blob)
+            except codec.CodecError:
+                # Garbage off the wire is a counted drop, never a
+                # crashed receive loop.
                 self.datagrams_dropped += 1
                 continue
             if not self.filter.allows(src, node):
@@ -285,7 +296,8 @@ class AsyncioTransport:
                 self.datagrams_dropped += 1
                 continue
             self.datagrams_delivered += 1
-            handler(Datagram(src, node, payload, size, self.runtime.now))
+            handler(Datagram(src, node, payload, len(blob),
+                             self.runtime.now))
 
 
 def loopback_addresses(server_ids: Sequence[int],

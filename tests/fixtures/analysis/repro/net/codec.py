@@ -1,0 +1,5 @@
+"""Fixture: the codec module itself may import struct."""
+
+import struct
+
+FRAME = struct.Struct("!BBi")

@@ -1,0 +1,14 @@
+"""Fixture: struct-level framing outside the codec.
+
+The runtime package is exempt from the seam rules, but the framing rule
+still applies — a transport hand-packing frames would bypass the
+codec's versioned header.
+"""
+
+import struct
+
+from struct import pack
+
+
+def frame(x: int) -> bytes:
+    return pack("!i", x) + struct.pack("!i", x)

@@ -3,11 +3,13 @@
 from pathlib import Path
 
 from repro.analysis import SeamEnforcer
-from repro.analysis.seams import RULE_BLOCKING_IO, RULE_IMPORT
+from repro.analysis.seams import RULE_BLOCKING_IO, RULE_FRAMING, RULE_IMPORT
 
 FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
 BAD_SOCKET = FIXTURES / "repro" / "gcs" / "bad_socket.py"
 SUPPRESSED = FIXTURES / "repro" / "gcs" / "suppressed.py"
+BAD_FRAMING = FIXTURES / "repro" / "runtime" / "bad_framing.py"
+FIXTURE_CODEC = FIXTURES / "repro" / "net" / "codec.py"
 
 
 def test_fixture_socket_import_detected():
@@ -50,6 +52,35 @@ def test_relative_imports_allowed(tmp_path):
     (pkg / "mod.py").write_text("from . import records\n"
                                 "from ..runtime.base import Runtime\n")
     assert SeamEnforcer().check_paths([tmp_path]) == []
+
+
+def test_framing_rule_covers_exempt_packages():
+    # runtime/ is exempt from the seam rules but not from framing: the
+    # fixture imports struct twice (plain and from-import).
+    findings = SeamEnforcer().check_paths([BAD_FRAMING])
+    assert [f.rule for f in findings] == [RULE_FRAMING, RULE_FRAMING]
+    assert all("repro.net.codec" in f.message for f in findings)
+
+
+def test_framing_rule_exempts_the_codec():
+    assert SeamEnforcer().check_paths([FIXTURE_CODEC]) == []
+
+
+def test_framing_rule_in_protocol_code(tmp_path):
+    pkg = tmp_path / "repro" / "gcs"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("import struct\n")
+    findings = SeamEnforcer().check_paths([tmp_path])
+    assert [f.rule for f in findings] == [RULE_FRAMING]
+
+
+def test_live_codec_is_the_only_struct_importer():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    framing = [f for f in SeamEnforcer().check_paths([src])
+               if f.rule == RULE_FRAMING]
+    assert framing == [], "\n".join(f.format() for f in framing)
 
 
 def test_live_tree_has_no_unsuppressed_violations():

@@ -1,0 +1,155 @@
+"""Unit tests for the wire-batching layer (repro.net.batching)."""
+
+import pytest
+
+from repro.net.batching import Batch, WireBatchConfig, WireBatcher
+from repro.sim import Simulator
+
+
+class FakeTransport:
+    """Records every send the batcher makes."""
+
+    def __init__(self):
+        self.sends = []          # (dst, payload, size)
+        self.multicasts = []     # (dsts, payload, size)
+
+    def send(self, src, dst, payload, size=200):
+        self.sends.append((dst, payload, size))
+
+    def multicast(self, src, dsts, payload, size=200):
+        self.multicasts.append((tuple(dsts), payload, size))
+
+
+CONFIG = WireBatchConfig(max_batch=4, max_delay=0.0005,
+                         idle_threshold=0.002)
+
+
+def make_batcher(config=CONFIG):
+    sim = Simulator()
+    transport = FakeTransport()
+    batcher = WireBatcher(sim, 1, transport, config)
+    return sim, transport, batcher
+
+
+def test_config_enabled_threshold():
+    assert not WireBatchConfig().enabled
+    assert not WireBatchConfig(max_batch=1).enabled
+    assert not WireBatchConfig(max_batch=0).enabled
+    assert WireBatchConfig(max_batch=2).enabled
+
+
+def test_idle_destination_sends_immediately():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "hello", 100)
+    # No simulated time needed: quiet destinations ship synchronously,
+    # and the payload goes raw (no Batch wrapper).
+    assert transport.sends == [(2, "hello", 100)]
+    assert batcher.pending_payloads() == 0
+
+
+def test_busy_destination_coalesces_until_timer():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)           # idle -> immediate
+    batcher.send(2, "b", 20)           # within idle_threshold -> buffer
+    batcher.send(2, "c", 30)
+    assert transport.sends == [(2, "a", 10)]
+    assert batcher.pending_payloads() == 2
+    sim.run(until=CONFIG.max_delay * 2)
+    assert batcher.pending_payloads() == 0
+    assert len(transport.sends) == 2
+    dst, payload, size = transport.sends[1]
+    assert dst == 2
+    assert payload == Batch([("b", 20), ("c", 30)])
+    assert size == (CONFIG.frame_header
+                    + (CONFIG.entry_header + 20)
+                    + (CONFIG.entry_header + 30))
+
+
+def test_max_batch_forces_flush_without_timer():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "prime", 10)
+    for i in range(CONFIG.max_batch):
+        batcher.send(2, i, 10)
+    # The 4th buffered payload hits max_batch: flushed synchronously.
+    assert batcher.pending_payloads() == 0
+    assert len(transport.sends) == 2
+    assert transport.sends[1][1] == Batch([(i, 10) for i in range(4)])
+
+
+def test_quiet_period_resets_to_immediate():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)
+    sim.run(until=CONFIG.idle_threshold * 2)
+    batcher.send(2, "b", 10)           # destination went quiet again
+    assert [p for _d, p, _s in transport.sends] == ["a", "b"]
+
+
+def test_single_buffered_payload_flushes_raw():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)
+    batcher.send(2, "b", 20)
+    batcher.flush_all()
+    # A flush finding one buffered payload sends it raw, not as a
+    # one-entry Batch.
+    assert transport.sends == [(2, "a", 10), (2, "b", 20)]
+
+
+def test_multicast_keying_and_empty_dsts():
+    sim, transport, batcher = make_batcher()
+    batcher.multicast((), "nobody", 10)
+    assert transport.multicasts == []
+    batcher.multicast((2, 3), "m0", 10)
+    batcher.multicast((2, 3), "m1", 10)   # same set: buffers
+    batcher.multicast((2, 4), "n0", 10)   # different set: own key
+    batcher.send(2, "u0", 10)             # unicast: own key
+    assert transport.multicasts == [((2, 3), "m0", 10),
+                                    ((2, 4), "n0", 10)]
+    assert transport.sends == [(2, "u0", 10)]
+    assert batcher.pending_payloads() == 1
+    batcher.flush_all()
+    assert transport.multicasts[-1] == ((2, 3), "m1", 10)
+
+
+def test_flush_all_cancels_timer_and_drains():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)
+    batcher.send(2, "b", 10)
+    batcher.send(3, "c", 10)
+    batcher.send(3, "d", 10)
+    assert batcher.pending_payloads() == 2
+    batcher.flush_all()
+    assert batcher.pending_payloads() == 0
+    sent = [(d, p) for d, p, _s in transport.sends]
+    assert (2, "b") in sent and (3, "d") in sent
+    # Timer was cancelled: running on produces no duplicate sends.
+    count = len(transport.sends)
+    sim.run(until=1.0)
+    assert len(transport.sends) == count
+
+
+def test_drop_all_discards_buffered_payloads():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)
+    batcher.send(2, "doomed", 10)
+    batcher.drop_all()
+    assert batcher.pending_payloads() == 0
+    sim.run(until=1.0)
+    assert transport.sends == [(2, "a", 10)]
+
+
+def test_counters_track_frames_and_payloads():
+    sim, transport, batcher = make_batcher()
+    batcher.send(2, "a", 10)
+    batcher.send(2, "b", 10)
+    batcher.send(2, "c", 10)
+    batcher.flush_all()
+    assert batcher.frames_sent == 2       # raw "a" + Batch(b, c)
+    assert batcher.payloads_sent == 3
+
+
+def test_batch_equality_and_len():
+    a = Batch([("x", 1), ("y", 2)])
+    b = Batch([("x", 1), ("y", 2)])
+    assert a == b and hash(a) == hash(b) and len(a) == 2
+    assert a != Batch([("x", 1)])
+    assert a != "x"

@@ -76,8 +76,10 @@ class _Recorder:
                 "views": self.views, "digests": digests}
 
 
-def _sim_trace():
-    cluster = ReplicaCluster(n=3, seed=11, trace=True)
+def _sim_trace(wire=None):
+    settings = GcsSettings(wire=wire) if wire is not None else None
+    cluster = ReplicaCluster(n=3, seed=11, trace=True,
+                             gcs_settings=settings)
     recorder = _Recorder(cluster.replicas, cluster.tracer)
 
     def wait(cond, what):
@@ -117,14 +119,16 @@ def _sim_trace():
     return recorder.trace(digests)
 
 
-def _live_trace():
+def _live_trace(wire=None):
     async def scenario():
+        overrides = {"wire": wire} if wire is not None else {}
         cluster = LiveCluster(
             NODES,
             gcs_settings=GcsSettings(
                 heartbeat_interval=0.015, failure_timeout=0.150,
                 gather_settle=0.040, phase_timeout=0.500,
-                nack_timeout=0.010, use_topology_hints=False),
+                nack_timeout=0.010, use_topology_hints=False,
+                **overrides),
             disk_profile=DiskProfile(forced_write_latency=0.0002,
                                      async_write_latency=0.00001))
         recorder = _Recorder(cluster.replicas, cluster.tracer)

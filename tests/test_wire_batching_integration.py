@@ -1,0 +1,226 @@
+"""Wire batching end to end: reliable channels, membership boundaries,
+cluster convergence, and cross-runtime conformance with batching on.
+
+The batching layer must be *transparent*: same green order, same
+digests, same protocol decisions — only the datagram count changes.
+"""
+
+import pytest
+
+from test_runtime_conformance import (EXPECTED_GREEN, EXPECTED_MODES,
+                                      EXPECTED_VIEWS, NODES, _live_trace,
+                                      _sim_trace)
+
+from repro.core import ReplicaCluster
+from repro.core.state_machine import EngineState
+from repro.gcs import GcsSettings, ReliableChannelEndpoint
+from repro.net import Network, NetworkProfile, Topology, WireBatchConfig
+from repro.net.batching import WireBatcher
+from repro.sim import RandomStreams, Simulator
+
+WIRE = WireBatchConfig(max_batch=16)
+
+
+# ----------------------------------------------------------------------
+# reliable channels through a batcher
+# ----------------------------------------------------------------------
+def make_batched_pair(loss_rate=0.0, seed=0, max_batch=8,
+                      ack_delay=0.0005):
+    sim = Simulator()
+    topo = Topology([1, 2])
+    net = Network(sim, topo, NetworkProfile(loss_rate=loss_rate,
+                                            jitter=0.0),
+                  rng=RandomStreams(seed).stream("network"))
+    config = WireBatchConfig(max_batch=max_batch, ack_delay=ack_delay)
+    inbox = {1: [], 2: []}
+    endpoints = {}
+    for node in (1, 2):
+        batcher = WireBatcher(sim, node, net, config)
+        endpoints[node] = ReliableChannelEndpoint(
+            sim, node, net,
+            lambda peer, payload, node=node: inbox[node].append(
+                (peer, payload)),
+            retransmit_interval=0.05, batcher=batcher,
+            ack_delay=ack_delay)
+    for node in (1, 2):
+        net.attach(node, endpoints[node].on_datagram)
+        endpoints[node].start()
+    return sim, topo, net, endpoints, inbox
+
+
+def test_batched_channel_delivers_in_order_with_fewer_datagrams():
+    sim, _t, net, endpoints, inbox = make_batched_pair()
+    for i in range(50):
+        endpoints[1].send(2, f"m{i}")
+    sim.run(until=1.0)
+    assert [p for _peer, p in inbox[2]] == [f"m{i}" for i in range(50)]
+
+    # Unbatched reference: same workload, classic one-ack-per-payload.
+    sim2 = Simulator()
+    topo2 = Topology([1, 2])
+    net2 = Network(sim2, topo2, NetworkProfile(jitter=0.0),
+                   rng=RandomStreams(0).stream("network"))
+    sink = []
+    e1 = ReliableChannelEndpoint(sim2, 1, net2, lambda p, m: None)
+    e2 = ReliableChannelEndpoint(sim2, 2, net2,
+                                 lambda p, m: sink.append(m))
+    net2.attach(1, e1.on_datagram)
+    net2.attach(2, e2.on_datagram)
+    e1.start()
+    e2.start()
+    for i in range(50):
+        e1.send(2, f"m{i}")
+    sim2.run(until=1.0)
+    assert len(sink) == 50
+    assert net.datagrams_sent < net2.datagrams_sent
+
+
+def test_ack_coalescing_saves_acks():
+    sim, _t, _n, endpoints, inbox = make_batched_pair()
+    for i in range(40):
+        endpoints[1].send(2, i)
+    sim.run(until=1.0)
+    assert [p for _peer, p in inbox[2]] == list(range(40))
+    # The receiver covered many payloads per cumulative ChanAck.
+    assert endpoints[2].acks_coalesced > 0
+    # And every send is acked: nothing left outstanding to retransmit.
+    assert endpoints[1].unacked(2) == 0
+
+
+def test_partially_acked_batch_retransmits_go_back_n():
+    sim, topo, _n, endpoints, inbox = make_batched_pair()
+    # First wave commits and is acked.
+    for i in range(5):
+        endpoints[1].send(2, i)
+    sim.run(until=0.5)
+    assert endpoints[1].unacked(2) == 0
+    # Cut the link mid-stream: the second wave (some batched together)
+    # is lost in flight or buffered, then the link heals.
+    topo.partition([[1], [2]])
+    for i in range(5, 12):
+        endpoints[1].send(2, i)
+    sim.run(until=0.3)
+    assert endpoints[1].unacked(2) > 0
+    topo.heal()
+    sim.run(until=2.0)
+    # Go-back-N recovered exactly the unacked suffix: in order, no
+    # duplicates, nothing skipped.
+    assert [p for _peer, p in inbox[2]] == list(range(12))
+    assert endpoints[1].unacked(2) == 0
+
+
+def test_batched_channel_under_loss():
+    sim, _t, _n, endpoints, inbox = make_batched_pair(loss_rate=0.3,
+                                                      seed=7)
+    for i in range(20):
+        endpoints[1].send(2, i)
+    sim.run(until=10.0)
+    assert [p for _peer, p in inbox[2]] == list(range(20))
+
+
+# ----------------------------------------------------------------------
+# full cluster: transparency and membership boundaries
+# ----------------------------------------------------------------------
+def _run_scenario(gcs_settings):
+    """Boot 5 nodes, commit, partition mid-traffic, commit on the
+    majority, heal, converge.  Returns the protocol observables."""
+    cluster = ReplicaCluster(n=5, seed=21, gcs_settings=gcs_settings)
+    greens = {n: [] for n in cluster.replicas}
+    for node, replica in cluster.replicas.items():
+        replica.add_green_listener(
+            lambda a, _p, _r, _n=node: greens[_n].append(
+                tuple(a.action_id)))
+    cluster.start_all(settle=2.0)
+    client = cluster.client(1)
+    for i in range(30):
+        client.submit(("SET", f"k{i}", i))
+    # Partition while data/stamp/ack traffic is still in flight: any
+    # frame buffered for the old view must flush at the boundary.
+    cluster.run_for(0.05)
+    cluster.partition([1, 2, 3], [4, 5])
+    cluster.run_for(2.0)
+    majority = cluster.client(2)
+    for i in range(10):
+        majority.submit(("SET", f"maj{i}", i))
+    cluster.run_for(2.0)
+    cluster.heal()
+    cluster.run_for(4.0)
+    cluster.assert_converged()
+    digests = {n: r.database.digest()
+               for n, r in cluster.replicas.items()}
+    return greens, digests, cluster
+
+
+def test_batched_cluster_matches_unbatched_green_order():
+    greens_plain, digests_plain, _c = _run_scenario(GcsSettings())
+    greens_batched, digests_batched, cluster = _run_scenario(
+        GcsSettings(wire=WIRE))
+    # Transparent: identical green order at every node, identical state.
+    assert greens_batched == greens_plain
+    assert set(digests_batched.values()) == set(digests_plain.values())
+    # And the batcher actually coalesced something.
+    batchers = [r.batcher for r in cluster.replicas.values()]
+    assert all(b is not None for b in batchers)
+    assert sum(b.frames_sent for b in batchers) \
+        < sum(b.payloads_sent for b in batchers)
+
+
+def test_no_payload_straddles_membership_change():
+    cluster = ReplicaCluster(n=5, seed=4, gcs_settings=GcsSettings(
+        wire=WIRE))
+    cluster.start_all(settle=2.0)
+    client = cluster.client(1)
+    for i in range(20):
+        client.submit(("SET", f"k{i}", i))
+    cluster.run_for(0.02)        # traffic still in flight
+    cluster.partition([1, 2, 3], [4, 5])
+    cluster.run_for(2.0)
+    # Membership settled on both sides: every batcher flushed at the
+    # view boundary; nothing from the old view lingers in a buffer.
+    for replica in cluster.replicas.values():
+        assert replica.batcher.pending_payloads() == 0
+    cluster.heal()
+    cluster.run_for(4.0)
+    cluster.assert_converged()
+
+
+def test_crashed_node_drops_buffered_frames():
+    cluster = ReplicaCluster(n=5, seed=9, gcs_settings=GcsSettings(
+        wire=WIRE))
+    cluster.start_all(settle=2.0)
+    client = cluster.client(2)
+    for i in range(20):
+        client.submit(("SET", f"k{i}", i))
+    cluster.run_for(0.02)
+    cluster.replicas[2].crash()
+    assert cluster.replicas[2].batcher.pending_payloads() == 0
+    cluster.run_for(4.0)
+    survivors = [n for n in cluster.replicas if n != 2]
+    digests = {cluster.replicas[n].database.digest() for n in survivors}
+    assert len(digests) == 1
+    assert all(cluster.replicas[n].engine.state == EngineState.REG_PRIM
+               for n in survivors)
+
+
+def test_batched_runs_are_deterministic():
+    def run():
+        _greens, digests, cluster = _run_scenario(GcsSettings(wire=WIRE))
+        return (cluster.sim.events_processed,
+                cluster.network.datagrams_sent, sorted(digests.items()))
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# cross-runtime conformance with batching on
+# ----------------------------------------------------------------------
+def test_conformance_with_batching_enabled():
+    """The conformance scenario's protocol trace is unchanged by
+    batching, on the simulator *and* on real asyncio."""
+    sim = _sim_trace(wire=WIRE)
+    live = _live_trace(wire=WIRE)
+    for trace in (sim, live):
+        assert trace["greens"] == {n: EXPECTED_GREEN for n in NODES}
+        assert trace["modes"] == EXPECTED_MODES
+        assert trace["views"] == EXPECTED_VIEWS
+        assert len(set(trace["digests"].values())) == 1
+    assert set(sim["digests"].values()) == set(live["digests"].values())
