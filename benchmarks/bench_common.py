@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.baselines import CorelSystem, EngineSystem, TwoPCSystem
 from repro.core import EngineConfig
@@ -28,6 +28,49 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_WALLCLOCK_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_wallclock.json")
+
+
+#: name → scenario callable ``(smoke: bool) -> stats dict``.  The
+#: wall-clock harness registers every scenario here via the
+#: :func:`scenario` decorator, so the harness CLI, the ablation tests
+#: that reuse scenario runners, and EXPERIMENTS.md all enumerate one
+#: list instead of keeping private copies that drift.
+SCENARIO_REGISTRY: Dict[str, Callable[[bool], Dict[str, Any]]] = {}
+
+
+def scenario(name: str) -> Callable[[Callable[[bool], Dict[str, Any]]],
+                                    Callable[[bool], Dict[str, Any]]]:
+    """Register a wall-clock scenario under ``name`` (last writer wins,
+    so re-importing a benchmark module is harmless)."""
+    def register(fn: Callable[[bool], Dict[str, Any]]
+                 ) -> Callable[[bool], Dict[str, Any]]:
+        SCENARIO_REGISTRY[name] = fn
+        return fn
+    return register
+
+
+def open_loop_burst(cluster: Any, actions: int, *, node: int = 1,
+                    update: Any = ("INC", "n", 1),
+                    sim_deadline: float = 120.0,
+                    label: str = "burst") -> None:
+    """Submit ``actions`` updates at ``node`` up front, then run the
+    simulation until every one is green at the submitting replica.
+
+    This is the shared workload shape of the wire-batching ablation
+    (the sustained per-node send rate is what engages — or doesn't —
+    the coalescer) and the per-shard load of the sharding weak-scaling
+    scenario; it used to be private boilerplate of ``bench_wallclock``.
+    """
+    client = cluster.client(node)
+    base = cluster.replicas[node].green_count
+    for _ in range(actions):
+        client.submit(update)
+    deadline = cluster.sim.now + sim_deadline
+    while cluster.replicas[node].green_count - base < actions:
+        if cluster.sim.now >= deadline:
+            raise SystemExit(f"{label} workload stalled")
+        cluster.run_for(0.25)
+    cluster.assert_converged()
 
 
 def paper_disk() -> DiskProfile:

@@ -55,13 +55,15 @@ except ImportError:  # running from a checkout without `pip install -e .`
     sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 
 from bench_common import (BENCH_WALLCLOCK_PATH, CLIENT_COUNTS,
-                          engine_factory, record_wallclock)
+                          SCENARIO_REGISTRY, engine_factory,
+                          open_loop_burst, record_wallclock, scenario)
 from repro.bench import sweep_clients
 from repro.core import ReplicaCluster
 from repro.gcs import GcsSettings
 from repro.net import WireBatchConfig
 from repro.obs import Observability
 from repro.runtime import SimRuntime
+from repro.shard import ShardFabric, shard_server_ids
 from repro.sim import Simulator
 from repro.storage import DiskProfile
 
@@ -99,6 +101,7 @@ def _stats(wall: float, sims: List[Any],
 # ----------------------------------------------------------------------
 # scenarios
 # ----------------------------------------------------------------------
+@scenario("fig5a_throughput")
 def scenario_fig5a(smoke: bool = False) -> Dict[str, Any]:
     counts = [1, 4] if smoke else CLIENT_COUNTS
     duration = 0.5 if smoke else 3.0
@@ -113,6 +116,7 @@ def scenario_fig5a(smoke: bool = False) -> Dict[str, Any]:
     })
 
 
+@scenario("membership_cost")
 def scenario_membership(smoke: bool = False) -> Dict[str, Any]:
     partitions = 1 if smoke else 3
     actions = 20 if smoke else 60
@@ -146,24 +150,14 @@ WIRE_SWEEP = [1, 4, 16, 64]
 
 def _wire_run(settings: GcsSettings,
               actions: int) -> Tuple[Dict[str, Any], str]:
-    """Open-loop burst on 5 replicas: every action submitted at node 1
-    up front, run until all are green everywhere.  The sustained
-    per-node send rate is what engages (or doesn't) the coalescer."""
+    """The :func:`bench_common.open_loop_burst` workload on 5 replicas
+    under the given wire settings."""
     start = time.perf_counter()
     cluster = ReplicaCluster(
         n=5, seed=0, gcs_settings=settings,
         disk_profile=DiskProfile(forced_write_latency=0.001))
     cluster.start_all(settle=1.5)
-    client = cluster.client(1)
-    base_green = cluster.replicas[1].green_count
-    for i in range(actions):
-        client.submit(("INC", "n", 1))
-    deadline = cluster.sim.now + 120.0
-    while cluster.replicas[1].green_count - base_green < actions:
-        if cluster.sim.now >= deadline:
-            raise SystemExit("wire_batching scenario stalled")
-        cluster.run_for(0.25)
-    cluster.assert_converged()
+    open_loop_burst(cluster, actions, label="wire_batching")
     wall = time.perf_counter() - start
     stats = {
         "wall_seconds": round(wall, 3),
@@ -176,6 +170,7 @@ def _wire_run(settings: GcsSettings,
     return stats, cluster.replicas[1].database.digest()
 
 
+@scenario("wire_batching")
 def scenario_wire_batching(smoke: bool = False) -> Dict[str, Any]:
     """Wire-batching ablation: the burst workload across the
     ``max_batch`` sweep, plus an unbatched reference run.
@@ -262,6 +257,7 @@ def _drive_dispatch(sim: Simulator, chains: int, depth: int) -> float:
     return time.perf_counter() - start
 
 
+@scenario("runtime_adapter")
 def scenario_runtime_adapter(smoke: bool = False) -> Dict[str, Any]:
     """SimRuntime must be free: same dispatch loop as the bare kernel.
 
@@ -329,6 +325,7 @@ OBS_OVERHEAD_LIMIT = 0.02
 OBS_OVERHEAD_SMOKE_LIMIT = 0.10
 
 
+@scenario("obs_overhead")
 def scenario_obs_overhead(smoke: bool = False) -> Dict[str, Any]:
     """Observability must be near-free: fig5a with metrics on vs off.
 
@@ -425,13 +422,181 @@ def scenario_obs_overhead(smoke: bool = False) -> Dict[str, Any]:
     }
 
 
-SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
-    "fig5a_throughput": scenario_fig5a,
-    "membership_cost": scenario_membership,
-    "runtime_adapter": scenario_runtime_adapter,
-    "obs_overhead": scenario_obs_overhead,
-    "wire_batching": scenario_wire_batching,
-}
+#: shard counts of the sharding weak-scaling sweep.
+SHARD_SWEEP = [1, 2, 4]
+#: minimum aggregate green-actions/sec speedup at the top of the sweep
+#: (4 shards full, 2 shards smoke) over the single-shard fabric.
+SHARD_SPEEDUP_FLOOR = 2.5
+SHARD_SPEEDUP_SMOKE_FLOOR = 1.5
+
+_SHARD_GCS = GcsSettings(heartbeat_interval=0.02, failure_timeout=0.08,
+                         gather_settle=0.02, phase_timeout=0.15)
+
+
+def _shard_burst(num_shards: int, per_shard: int) -> Dict[str, Any]:
+    """Weak scaling: the open-loop burst, one copy per shard, all in
+    flight at once on one fabric.  Each group drains its own burst on
+    its own quorum/WALs, so the drain time in *simulated* seconds
+    should stay flat as shards are added — aggregate greens/sec grows
+    with the shard count."""
+    start = time.perf_counter()
+    fabric = ShardFabric(
+        num_shards=num_shards, replicas_per_shard=3, seed=0,
+        gcs_settings=_SHARD_GCS,
+        disk_profile=DiskProfile(forced_write_latency=0.001))
+    fabric.start_all(settle=1.5)
+    bases = {s: fabric.green_count(s) for s in range(num_shards)}
+    load_start = fabric.sim.now
+    # The drain time is taken from the green-completion callbacks, not
+    # the polling loop, so its resolution is exact simulated time.
+    last_green = [load_start]
+
+    def mark(_action: Any, _pos: int, _result: Any) -> None:
+        last_green[0] = fabric.sim.now
+
+    for s in range(num_shards):
+        for _ in range(per_shard):
+            fabric.submit_local(s, ("INC", f"n{s}", 1), mark)
+    deadline = fabric.sim.now + 120.0
+    while any(fabric.green_count(s) - bases[s] < per_shard
+              for s in range(num_shards)):
+        if fabric.sim.now >= deadline:
+            raise SystemExit(
+                f"sharding burst stalled at {num_shards} shards")
+        fabric.run_for(0.25)
+    fabric.assert_converged()
+    drain = last_green[0] - load_start
+    wall = time.perf_counter() - start
+    greens = num_shards * per_shard
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": fabric.sim.events_processed,
+        "sim_seconds": round(fabric.sim.now, 3),
+        "drain_sim_seconds": round(drain, 3),
+        "greens": greens,
+        "greens_per_sim_sec": round(greens / drain, 1),
+    }
+
+
+def _shard_txn_workload(smoke: bool) -> Dict[str, Any]:
+    """Cross-shard transactions on a 2-shard fabric, healthy and under
+    partition.  Healthy pairs must all commit; once shard 1 is cut
+    below quorum, every transaction touching it must abort on the
+    coordinator's prepare timeout (decided in shard 0's total order),
+    and after the heal nothing may stay staged."""
+    healthy = 10 if smoke else 40
+    cut = 5 if smoke else 20
+    start = time.perf_counter()
+    fabric = ShardFabric(
+        num_shards=2, replicas_per_shard=3, seed=0,
+        gcs_settings=_SHARD_GCS,
+        disk_profile=DiskProfile(forced_write_latency=0.001),
+        prepare_timeout=2.0)
+    fabric.start_all(settle=1.5)
+    # Deterministic cross-shard pairs: probe keys until each shard owns
+    # enough of them.
+    keys: Dict[int, List[str]] = {0: [], 1: []}
+    probe = 0
+    while min(len(keys[0]), len(keys[1])) < healthy + cut:
+        key = f"t{probe}"
+        keys[fabric.router.shard_for_key(key)].append(key)
+        probe += 1
+    outcomes = {"commit": 0, "abort": 0}
+
+    def done(_txn_id: str, outcome: str) -> None:
+        outcomes[outcome] += 1
+
+    for j in range(healthy):
+        fabric.submit([["SET", keys[0][j], j], ["SET", keys[1][j], j]],
+                      done)
+    fabric.run_for(10.0)
+    healthy_commits = outcomes["commit"]
+    # Fragment shard 1 below quorum (its replicas become singletons;
+    # shard 0 is the auto-completed remainder and keeps its primary).
+    nodes1 = shard_server_ids(1, 3)
+    fabric.partition([nodes1[0]], [nodes1[1]], [nodes1[2]])
+    fabric.run_for(1.0)
+    for j in range(healthy, healthy + cut):
+        fabric.submit([["SET", keys[0][j], j], ["SET", keys[1][j], j]],
+                      done)
+    # Past the prepare timeout: every cut transaction is decided
+    # (abort) in shard 0; the finish records for shard 1 drain after
+    # the heal, which is when on_done fires.
+    fabric.run_for(8.0)
+    fabric.heal()
+    fabric.run_for(10.0)
+    staged = fabric.staged()
+    if staged:
+        raise SystemExit(f"staged transactions survived the heal: "
+                         f"{sorted(staged)}")
+    fabric.assert_converged()
+    if healthy_commits != healthy:
+        raise SystemExit(f"healthy phase committed {healthy_commits} of "
+                         f"{healthy} cross-shard transactions")
+    if outcomes["abort"] != cut:
+        raise SystemExit(f"partition phase aborted {outcomes['abort']} "
+                         f"of {cut} transactions (expected all: shard 1 "
+                         f"had no quorum)")
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": fabric.sim.events_processed,
+        "sim_seconds": round(fabric.sim.now, 3),
+        "healthy_commits": healthy_commits,
+        "partition_aborts": outcomes["abort"],
+        "commits": outcomes["commit"],
+        "aborts": outcomes["abort"],
+    }
+
+
+@scenario("sharding")
+def scenario_sharding(smoke: bool = False) -> Dict[str, Any]:
+    """Shard-fabric scaling and cross-shard transaction cost.
+
+    Weak scaling first: a fixed per-shard open-loop burst at every
+    shard count in the sweep; since the groups are independent (own
+    GCS group, own quorum, own WALs) the aggregate green-actions/sec
+    must grow near-linearly — the run fails below
+    ``SHARD_SPEEDUP_FLOOR`` at the top of the sweep.  Then the
+    cross-shard transaction workload: commits when both shards are
+    healthy, aborts (with a clean recovery) when one shard loses
+    quorum mid-run.
+    """
+    sweep = [1, 2] if smoke else SHARD_SWEEP
+    per_shard = 120 if smoke else 600
+    scaling: Dict[str, Dict[str, Any]] = {}
+    for num_shards in sweep:
+        scaling[str(num_shards)] = _shard_burst(num_shards, per_shard)
+    base_rate = scaling["1"]["greens_per_sim_sec"]
+    top = str(sweep[-1])
+    speedup = scaling[top]["greens_per_sim_sec"] / base_rate
+    floor = SHARD_SPEEDUP_SMOKE_FLOOR if smoke else SHARD_SPEEDUP_FLOOR
+    if speedup < floor:
+        raise SystemExit(
+            f"sharding speedup {speedup:.2f}x at {top} shards is below "
+            f"the {floor}x floor (aggregate green-actions/sim-sec "
+            f"{ {k: v['greens_per_sim_sec'] for k, v in scaling.items()} })")
+    txn = _shard_txn_workload(smoke)
+    runs = list(scaling.values()) + [txn]
+    wall = sum(r["wall_seconds"] for r in runs)
+    events = sum(r["events"] for r in runs)
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall else 0.0,
+        "sim_seconds": round(sum(r["sim_seconds"] for r in runs), 3),
+        "peak_heap": 0,
+        "per_shard_actions": per_shard,
+        "scaling": scaling,
+        "aggregate_speedup": round(speedup, 2),
+        "speedup_floor": floor,
+        "cross_shard_txns": txn,
+    }
+
+
+#: The registry is the single source of truth (see ``bench_common``);
+#: the module-level alias keeps the historical import path working.
+SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = SCENARIO_REGISTRY
 
 
 # ----------------------------------------------------------------------

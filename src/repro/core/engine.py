@@ -147,9 +147,16 @@ class ReplicationEngine:
                  config: Optional[EngineConfig] = None,
                  hooks: Optional[EngineHooks] = None,
                  tracer: Optional[Tracer] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 shard: int = 0) -> None:
         self.sim = sim
         self.server_id = server_id
+        # Which replication group this engine orders for.  The engine
+        # never looks at it — total order is a per-group notion and the
+        # GCS group is already namespaced — but fabric-level tooling
+        # (routers, reports, seam checks) reads identity off the engine
+        # rather than reverse-engineering it from node ids.
+        self.shard = shard
         self.channel = channel
         self.store = store
         self.database = database

@@ -5,6 +5,8 @@ from .action import (Action, ActionId, ActionType, join_action,
                      leave_action)
 from .database import Database
 from .dirty import DirtyView
+from .partition import (KEYSPACE, KeyRange, RangeMap, ShardedDatabase,
+                        even_ranges, hash_key)
 from .snapshot import SnapshotChunk, SnapshotReceiver, SnapshotSender
 from .sql import (StatementError, execute_query, execute_statement,
                   execute_update)
@@ -15,6 +17,12 @@ __all__ = [
     "ActionType",
     "Database",
     "DirtyView",
+    "KEYSPACE",
+    "KeyRange",
+    "RangeMap",
+    "ShardedDatabase",
+    "even_ranges",
+    "hash_key",
     "SnapshotChunk",
     "SnapshotReceiver",
     "SnapshotSender",

@@ -1,0 +1,145 @@
+"""Key-range partitioning over a hashed keyspace.
+
+The shard fabric (:mod:`repro.shard`) splits the database across N
+independent replication groups.  Placement must be *deterministic
+across processes and runs* — builtin ``hash()`` is salted per process,
+so keys are positioned by the first four bytes of their SHA-256 digest
+instead, giving every runtime (simulated or live, any machine) the
+identical key→shard mapping.
+
+The pieces:
+
+* :func:`hash_key` — key → point in the ``[0, KEYSPACE)`` ring;
+* :class:`KeyRange` — a half-open ``[lo, hi)`` interval of the ring;
+* :class:`RangeMap` — ordered, contiguous ranges → shard ids, with
+  O(log n) point lookup;
+* :class:`ShardedDatabase` — a router-aware read facade over one
+  :class:`~repro.db.database.Database` per shard.
+
+The mapping depends only on the shard *count* (via
+:meth:`RangeMap.even`), never on group membership: replicas joining or
+leaving a shard's replication group cannot move keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Dict, List, NamedTuple, Sequence, Tuple
+
+from .database import Database
+
+#: The hashed keyspace is a 32-bit ring.
+KEYSPACE_BITS = 32
+KEYSPACE = 1 << KEYSPACE_BITS
+
+
+def hash_key(key: Any) -> int:
+    """Deterministic position of ``key`` on the ``[0, KEYSPACE)`` ring.
+
+    Total over every key type (non-strings position by their ``str``
+    form) and stable across processes, platforms, and runtimes —
+    unlike builtin ``hash()``, which is salted per interpreter.
+    """
+    data = str(key).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(data).digest()[:4], "big")
+
+
+class KeyRange(NamedTuple):
+    """A half-open interval ``[lo, hi)`` of the hashed keyspace."""
+
+    lo: int
+    hi: int
+
+    def covers(self, point: int) -> bool:
+        return self.lo <= point < self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo:#010x}, {self.hi:#010x})"
+
+
+def even_ranges(count: int) -> List[KeyRange]:
+    """Split the keyspace into ``count`` contiguous equal-width ranges
+    (the last one absorbs the remainder)."""
+    if count < 1:
+        raise ValueError(f"need at least one range, got {count}")
+    width = KEYSPACE // count
+    bounds = [i * width for i in range(count)] + [KEYSPACE]
+    return [KeyRange(bounds[i], bounds[i + 1]) for i in range(count)]
+
+
+class RangeMap:
+    """Contiguous key ranges mapped to shard ids.
+
+    Ranges must cover the whole keyspace with no gaps or overlaps, so
+    the key→shard mapping is *total*: every key lands in exactly one
+    shard.
+    """
+
+    def __init__(self, ranges: Sequence[Tuple[KeyRange, int]]):
+        ordered = sorted(ranges, key=lambda entry: entry[0].lo)
+        if not ordered:
+            raise ValueError("empty range map")
+        expected = 0
+        for key_range, _shard in ordered:
+            if key_range.lo != expected or key_range.hi <= key_range.lo:
+                raise ValueError(
+                    f"ranges must tile [0, {KEYSPACE:#x}) contiguously; "
+                    f"{key_range} breaks the tiling at {expected:#x}")
+            expected = key_range.hi
+        if expected != KEYSPACE:
+            raise ValueError(
+                f"ranges stop at {expected:#x}, not {KEYSPACE:#x}")
+        self.ranges: List[Tuple[KeyRange, int]] = list(ordered)
+        self._bounds = [key_range.lo for key_range, _ in self.ranges]
+        self.shard_ids = sorted({shard for _, shard in self.ranges})
+
+    @classmethod
+    def even(cls, num_shards: int) -> "RangeMap":
+        """Equal-width range per shard, shard ``i`` owning range ``i``."""
+        return cls([(key_range, shard) for shard, key_range
+                    in enumerate(even_ranges(num_shards))])
+
+    def shard_for_point(self, point: int) -> int:
+        if not 0 <= point < KEYSPACE:
+            raise ValueError(f"point {point:#x} outside the keyspace")
+        return self.ranges[bisect_right(self._bounds, point) - 1][1]
+
+    def shard_for_key(self, key: Any) -> int:
+        return self.shard_for_point(hash_key(key))
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+
+class ShardedDatabase:
+    """Router-aware read facade over one database per shard.
+
+    Writes go through the replication engines (never through this
+    facade); reads route by key exactly like submitted updates do, so a
+    client holding the facade sees the union keyspace without knowing
+    the partitioning.
+    """
+
+    def __init__(self, range_map: RangeMap,
+                 databases: Dict[int, Database]):
+        missing = [s for s in range_map.shard_ids if s not in databases]
+        if missing:
+            raise ValueError(f"no database for shards {missing}")
+        self.range_map = range_map
+        self.databases = dict(databases)
+
+    def database_for(self, key: Any) -> Database:
+        return self.databases[self.range_map.shard_for_key(key)]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self.database_for(key).state.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.database_for(key).state
+
+    def digests(self) -> Dict[int, str]:
+        """Per-shard database digests (the fabric's convergence and
+        atomicity observable)."""
+        return {shard: db.digest()
+                for shard, db in sorted(self.databases.items())}

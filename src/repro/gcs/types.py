@@ -158,12 +158,19 @@ class TokenMsg:
 
 @dataclass(frozen=True)
 class HeartbeatMsg:
-    """Liveness + piggybacked stability ack."""
+    """Liveness + piggybacked stability ack.
+
+    ``group`` namespaces the heartbeat when several replication groups
+    share one transport (the shard fabric): daemons drop foreign-group
+    heartbeats, so they can never feed failure detection or trigger a
+    cross-group membership merge.
+    """
 
     node: int
     view_id: Optional[ViewId]
     joined: bool
     ack_seq: int
+    group: int = 0
 
 
 @dataclass(frozen=True)

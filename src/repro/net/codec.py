@@ -67,7 +67,7 @@ _DATA = struct.Struct("!iiiqBi")         # view, origin, fifo, svc, size
 _STAMP_ENTRY = struct.Struct("!qiq")     # seq, origin, fifo_seq
 _VIEW_COUNT = struct.Struct("!iiI")      # view + entry count
 _ACK = struct.Struct("!iiiq")            # view, node, ack_seq
-_HEARTBEAT = struct.Struct("!iB")        # node, flags
+_HEARTBEAT = struct.Struct("!iiB")       # node, group, flags
 _VIEW = struct.Struct("!ii")
 _SEQ = struct.Struct("!q")
 _TOKEN = struct.Struct("!iiqI")          # view, next_seq, ack count
@@ -111,7 +111,7 @@ def _enc_ack(msg: AckMsg) -> bytes:
 
 def _enc_heartbeat(msg: HeartbeatMsg) -> bytes:
     flags = (1 if msg.joined else 0) | (2 if msg.view_id is not None else 0)
-    body = _HEARTBEAT.pack(msg.node, flags)
+    body = _HEARTBEAT.pack(msg.node, msg.group, flags)
     if msg.view_id is not None:
         body += _enc_view(msg.view_id)
     return body + _SEQ.pack(msg.ack_seq)
@@ -249,7 +249,7 @@ def _dec_ack(body: bytes) -> AckMsg:
 
 def _dec_heartbeat(body: bytes) -> HeartbeatMsg:
     _need(body, 0, _HEARTBEAT.size)
-    node, flags = _HEARTBEAT.unpack_from(body, 0)
+    node, group, flags = _HEARTBEAT.unpack_from(body, 0)
     offset = _HEARTBEAT.size
     view_id = None
     if flags & 2:
@@ -260,7 +260,7 @@ def _dec_heartbeat(body: bytes) -> HeartbeatMsg:
     (ack_seq,) = _SEQ.unpack_from(body, offset)
     if offset + _SEQ.size != len(body):
         raise CodecError("trailing bytes in HeartbeatMsg body")
-    return HeartbeatMsg(node, view_id, bool(flags & 1), ack_seq)
+    return HeartbeatMsg(node, view_id, bool(flags & 1), ack_seq, group)
 
 
 def _dec_token(body: bytes) -> TokenMsg:

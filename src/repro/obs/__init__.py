@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional
 from .export import (MetricsServer, fetch_http, lint_prometheus,
                      prometheus_text, snapshot_json)
 from .metrics import (LATENCY_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, percentile)
+                      MetricsRegistry, ShardScopedRegistry, percentile)
 from .spans import ActionSpan, MembershipSpan, SpanTracker
 
 
@@ -58,6 +58,26 @@ class Observability:
                 max_completed=self.max_completed_spans)
         return tracker
 
+    def for_shard(self, shard: int) -> "Observability":
+        """A view of this bundle scoped to one replication group.
+
+        Components built against the returned bundle register their
+        instruments with a leading ``shard`` label injected (see
+        :class:`~repro.obs.metrics.ShardScopedRegistry`); span trackers
+        are shared with the parent, keyed by the fabric's globally
+        unique node ids.  On a disabled bundle this returns ``self`` —
+        nothing registers callbacks anyway, and the live counters stay
+        distinguishable by node id alone.
+        """
+        if not self.enabled:
+            return self
+        scoped = Observability.__new__(Observability)
+        scoped.enabled = self.enabled
+        scoped.registry = ShardScopedRegistry(self.registry, shard)
+        scoped.max_completed_spans = self.max_completed_spans
+        scoped.trackers = self.trackers
+        return scoped
+
     def prometheus(self) -> str:
         return prometheus_text(self.registry)
 
@@ -75,6 +95,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsServer",
     "Observability",
+    "ShardScopedRegistry",
     "SpanTracker",
     "fetch_http",
     "lint_prometheus",

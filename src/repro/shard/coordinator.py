@@ -1,0 +1,306 @@
+"""The cross-shard transaction coordinator.
+
+Drives the prepare → decide → finish commit path of
+:mod:`repro.shard.txn` against N replication groups.  The coordinator
+itself holds **no durable state** — every protocol record it emits is a
+green action in some shard's total order, so its crash loses nothing
+but liveness: :meth:`recover_staged` (typically run by a fabric after
+replacing a crashed coordinator) terminates every staged transaction by
+racing an abort decision against whatever the old coordinator managed
+to decide, and the decider shard's total order arbitrates.
+
+Runtime-agnostic: time only via the :class:`~repro.runtime.base.Runtime`
+seam (the prepare timeout), submission only via an injected
+``submit(shard, update, on_complete)`` callable, so the identical
+coordinator runs under the deterministic simulator and on asyncio.
+The ``fail_before_finish`` flag is fault injection for the
+crash-consistency tests: the coordinator decides, then "crashes" before
+sending any finish record — the exact window the recovery sweep exists
+for.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
+
+from ..sim import Tracer
+from .router import KeyRangeRouter
+from .txn import (ABORT, COMMIT, decide_update, finish_update,
+                  prepare_update)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
+    from ..runtime.base import Handle, Runtime
+
+#: ``submit(shard, update, on_complete) -> action id`` — provided by the
+#: fabric; ``on_complete`` fires when the update goes green at the
+#: submitting replica, with ``(action, position, result)``.
+SubmitFn = Callable[[int, Any, Optional[Callable[..., None]]], Any]
+
+DoneFn = Callable[[str, str], None]
+
+
+def _call_result(result: Any) -> Any:
+    """The procedure return value out of a green completion result (a
+    per-statement result list; error markers come back as None)."""
+    if isinstance(result, list) and result:
+        return result[0]
+    return None
+
+
+class _Txn:
+    """In-flight coordinator bookkeeping for one transaction."""
+
+    __slots__ = ("txn_id", "participants", "decider", "on_done",
+                 "prepared", "finished", "decision", "phase", "timer")
+
+    def __init__(self, txn_id: str, participants: List[int],
+                 decider: int, on_done: Optional[DoneFn]):
+        self.txn_id = txn_id
+        self.participants = participants
+        self.decider = decider
+        self.on_done = on_done
+        self.prepared: set = set()
+        self.finished: set = set()
+        self.decision: Optional[str] = None
+        self.phase = "prepare"
+        self.timer: Optional["Handle"] = None
+
+
+class TxnCoordinator:
+    """2PC-style commit over replicated green records.
+
+    One logical coordinator per fabric; ``home`` names the node whose
+    crash takes the coordinator down with it (the paper's node model:
+    co-located components fail together).
+    """
+
+    def __init__(self, runtime: "Runtime", router: KeyRangeRouter,
+                 submit: SubmitFn, *, name: str = "txn",
+                 home: Optional[int] = None,
+                 prepare_timeout: float = 5.0,
+                 tracer: Optional[Tracer] = None,
+                 obs: Optional["Observability"] = None):
+        self.runtime = runtime
+        self.router = router
+        self._submit = submit
+        self.name = name
+        self.home = home
+        self.prepare_timeout = prepare_timeout
+        self.tracer = tracer or Tracer(enabled=False)
+        self.alive = True
+        #: Fault injection: decide, then crash before any finish record.
+        self.fail_before_finish = False
+
+        self._seq = 0
+        self._txns: Dict[str, _Txn] = {}
+        self.commits = 0
+        self.aborts = 0
+        self.local_txns = 0
+        self.recovered = 0
+
+        self._c_outcomes = None
+        if obs is not None and obs.enabled:
+            family = obs.registry.counter(
+                "repro_txn_outcomes_total",
+                "Cross-shard transaction outcomes at the coordinator.",
+                ("outcome",))
+            self._c_outcomes = {
+                COMMIT: family.labels(COMMIT),
+                ABORT: family.labels(ABORT),
+                "local": family.labels("local"),
+            }
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def halt(self) -> None:
+        """Coordinator crash: drop all in-flight bookkeeping.  The
+        green prepare/decide records survive in the shards; a recovery
+        sweep terminates what was in flight."""
+        self.alive = False
+        for txn in self._txns.values():
+            if txn.timer is not None:
+                txn.timer.cancel()
+                txn.timer = None
+        self._txns = {}
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._txns)
+
+    # ==================================================================
+    # the commit path
+    # ==================================================================
+    def submit_transaction(self, update: Any,
+                           on_done: Optional[DoneFn] = None) -> str:
+        """Route ``update``; shard-local fragments commit directly,
+        cross-shard ones run the prepare/decide/finish protocol.
+
+        ``on_done(txn_id, outcome)`` fires once the outcome is durable
+        at every participant (``outcome`` is ``"commit"``/``"abort"``).
+        Returns the transaction id.
+        """
+        if not self.alive:
+            raise RuntimeError("coordinator has been halted")
+        fragments = self.router.split_update(update)
+        shards = sorted(fragments)
+        self._seq += 1
+        txn_id = f"{self.name}-{self._seq}"
+
+        if len(shards) == 1:
+            # Shard-local: the shard's own total order is the whole
+            # commit protocol.
+            self.local_txns += 1
+            if self._c_outcomes is not None:
+                self._c_outcomes["local"].inc()
+            shard = shards[0]
+
+            def local_done(_action: Any, _pos: int, _result: Any) -> None:
+                if on_done is not None:
+                    on_done(txn_id, COMMIT)
+
+            self._submit(shard, fragments[shard], local_done)
+            return txn_id
+
+        decider = shards[0]
+        txn = _Txn(txn_id, shards, decider, on_done)
+        self._txns[txn_id] = txn
+        txn.timer = self.runtime.schedule(self.prepare_timeout,
+                                          self._on_timeout, txn_id)
+        self.tracer.emit(self.runtime.now, self.home or 0, "txn.begin",
+                         txn=txn_id, shards=tuple(shards))
+        for shard in shards:
+            record = prepare_update(txn_id, fragments[shard], shards,
+                                    decider)
+            self._submit(shard, record,
+                         self._prepare_cb(txn_id, shard))
+        return txn_id
+
+    def _prepare_cb(self, txn_id: str,
+                    shard: int) -> Callable[..., None]:
+        def on_green(_action: Any, _pos: int, result: Any) -> None:
+            self._on_prepared(txn_id, shard, _call_result(result))
+        return on_green
+
+    def _on_prepared(self, txn_id: str, shard: int, vote: Any) -> None:
+        txn = self._txns.get(txn_id)
+        if not self.alive or txn is None or txn.phase != "prepare":
+            return
+        if vote != "prepared":
+            # The shard refused (already aborted) or the record failed
+            # deterministically: abort the whole transaction.
+            self._decide(txn, ABORT)
+            return
+        txn.prepared.add(shard)
+        if len(txn.prepared) == len(txn.participants):
+            self._decide(txn, COMMIT)
+
+    def _on_timeout(self, txn_id: str) -> None:
+        txn = self._txns.get(txn_id)
+        if not self.alive or txn is None or txn.phase != "prepare":
+            return
+        self.tracer.emit(self.runtime.now, self.home or 0, "txn.timeout",
+                         txn=txn_id,
+                         prepared=tuple(sorted(txn.prepared)))
+        self._decide(txn, ABORT)
+
+    def _decide(self, txn: _Txn, wanted: str) -> None:
+        txn.phase = "decide"
+        if txn.timer is not None:
+            txn.timer.cancel()
+            txn.timer = None
+
+        def on_decided(_action: Any, _pos: int, result: Any) -> None:
+            winner = _call_result(result)
+            self._on_decided(txn.txn_id,
+                             winner if winner in (COMMIT, ABORT) else ABORT)
+
+        self._submit(txn.decider, decide_update(txn.txn_id, wanted),
+                     on_decided)
+
+    def _on_decided(self, txn_id: str, winner: str) -> None:
+        txn = self._txns.get(txn_id)
+        if not self.alive or txn is None or txn.phase != "decide":
+            return
+        txn.decision = winner
+        txn.phase = "finish"
+        if self.fail_before_finish:
+            # Injected crash in the decide→finish window; the decision
+            # is green at the decider, no participant has heard it.
+            self.halt()
+            return
+        for shard in txn.participants:
+            self._submit(shard, finish_update(txn_id, winner),
+                         self._finish_cb(txn_id, shard))
+
+    def _finish_cb(self, txn_id: str, shard: int) -> Callable[..., None]:
+        def on_green(_action: Any, _pos: int, _result: Any) -> None:
+            self._on_finished(txn_id, shard)
+        return on_green
+
+    def _on_finished(self, txn_id: str, shard: int) -> None:
+        txn = self._txns.get(txn_id)
+        if not self.alive or txn is None or txn.phase != "finish":
+            return
+        txn.finished.add(shard)
+        if len(txn.finished) < len(txn.participants):
+            return
+        del self._txns[txn_id]
+        outcome = txn.decision or ABORT
+        if outcome == COMMIT:
+            self.commits += 1
+        else:
+            self.aborts += 1
+        if self._c_outcomes is not None:
+            self._c_outcomes[outcome].inc()
+        self.tracer.emit(self.runtime.now, self.home or 0, "txn.done",
+                         txn=txn_id, outcome=outcome)
+        if txn.on_done is not None:
+            txn.on_done(txn_id, outcome)
+
+    # ==================================================================
+    # recovery
+    # ==================================================================
+    def recover_staged(self, staged: Dict[str, Dict[str, Any]],
+                       on_done: Optional[DoneFn] = None) -> List[str]:
+        """Terminate staged transactions left behind by a crashed
+        coordinator.
+
+        ``staged`` maps txn id → the prepare record as read from some
+        shard's database state (see
+        :func:`repro.shard.txn.staged_transactions`).  For each unknown
+        transaction the sweep submits an *abort* decision; the decider
+        shard's total order returns the true winner — commit if the old
+        coordinator's decision got there first — and the sweep then
+        finishes every participant accordingly.  Safe to run at any
+        time: transactions this coordinator is actively driving are
+        skipped, and duplicate finishes are no-ops.
+        """
+        if not self.alive:
+            raise RuntimeError("coordinator has been halted")
+        swept: List[str] = []
+        for txn_id in sorted(staged):
+            if txn_id in self._txns:
+                continue
+            entry = staged[txn_id]
+            participants = sorted(int(p) for p in entry["participants"])
+            decider = int(entry["decider"])
+            txn = _Txn(txn_id, participants, decider, on_done)
+            txn.phase = "decide"
+            self._txns[txn_id] = txn
+            self.recovered += 1
+            swept.append(txn_id)
+            self.tracer.emit(self.runtime.now, self.home or 0,
+                             "txn.recover", txn=txn_id)
+
+            def on_decided(_action: Any, _pos: int, result: Any,
+                           _txn_id: str = txn_id) -> None:
+                winner = _call_result(result)
+                self._on_decided(_txn_id,
+                                 winner if winner in (COMMIT, ABORT)
+                                 else ABORT)
+
+            self._submit(decider, decide_update(txn_id, ABORT), on_decided)
+        return swept

@@ -1,0 +1,279 @@
+"""ShardFabric: N replication groups on one deterministic kernel.
+
+The simulated composition root of the shard layer.  One
+:class:`~repro.runtime.SimRuntime`, one :class:`~repro.net.Topology`
+and :class:`~repro.net.Network` spanning every node, and N
+:class:`~repro.core.ReplicaCluster` instances — each an unchanged
+Figure-4 replication group with its own GCS group (namespaced by the
+shard id, see :class:`~repro.gcs.types.HeartbeatMsg`), its own WALs,
+and its own quorum — stitched together by the
+:class:`~repro.shard.router.KeyRangeRouter` and a
+:class:`~repro.shard.coordinator.TxnCoordinator` for cross-shard
+transactions.
+
+Node ids are globalised as ``shard * SHARD_STRIDE + local`` so shard 0
+keeps the plain ids ``1..n``: a one-shard fabric is *bit-identical* to
+a standalone ``ReplicaCluster`` (same event count, same digests), which
+is what keeps the Figure 5(a) determinism pin honest.
+
+Fault injection composes: :meth:`crash` of the coordinator's home node
+halts the coordinator with it (the paper's node model — co-located
+components fail together), and :meth:`recover_transactions` is the
+sweep a replacement coordinator runs to terminate whatever the crash
+left staged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core import ReplicaCluster
+from ..core.engine import EngineConfig
+from ..core.replica import Replica
+from ..db import Database, RangeMap, ShardedDatabase
+from ..gcs import GcsSettings
+from ..net import Network, NetworkProfile, Topology
+from ..obs import Observability
+from ..runtime import SimRuntime
+from ..sim import RandomStreams, Tracer
+from ..storage import DiskProfile
+from .coordinator import DoneFn, TxnCoordinator
+from .router import KeyRangeRouter, global_id, shard_of, shard_server_ids
+from .txn import install_txn_procedures, staged_transactions
+
+
+class ShardFabric:
+    """N simulated replication groups behind one key-range router."""
+
+    def __init__(self, num_shards: int = 2, replicas_per_shard: int = 3,
+                 seed: int = 0,
+                 network_profile: Optional[NetworkProfile] = None,
+                 disk_profile: Optional[DiskProfile] = None,
+                 gcs_settings: Optional[GcsSettings] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 trace: bool = False,
+                 observability: Optional[Observability] = None,
+                 range_map: Optional[RangeMap] = None,
+                 coordinator_home: Optional[int] = None,
+                 prepare_timeout: float = 5.0) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        self.replicas_per_shard = replicas_per_shard
+        self.router = KeyRangeRouter(num_shards, range_map)
+        self.obs = (observability if observability is not None
+                    else Observability.disabled())
+
+        # One kernel, one clock, one topology, one wire — shared by
+        # every group, exactly like N processes on one LAN.
+        self.sim = SimRuntime()
+        self.runtime = self.sim
+        self.streams = RandomStreams(seed)
+        self.tracer = Tracer(enabled=trace)
+        all_ids = [node for shard in range(num_shards)
+                   for node in shard_server_ids(shard, replicas_per_shard)]
+        self.topology = Topology(all_ids)
+        self.network = Network(self.sim, self.topology, network_profile,
+                               rng=self.streams.stream("network"),
+                               tracer=self.tracer)
+
+        self.clusters: Dict[int, ReplicaCluster] = {}
+        for shard in range(num_shards):
+            cluster = ReplicaCluster(
+                server_ids=shard_server_ids(shard, replicas_per_shard),
+                disk_profile=disk_profile,
+                gcs_settings=gcs_settings,
+                engine_config=engine_config,
+                observability=self.obs.for_shard(shard),
+                shard=shard,
+                runtime=self.sim, network=self.network,
+                topology=self.topology, streams=self.streams,
+                tracer=self.tracer)
+            self.clusters[shard] = cluster
+            for replica in cluster.replicas.values():
+                install_txn_procedures(replica.register_procedure)
+
+        self._coordinator_generation = 0
+        self.coordinator = self._make_coordinator(
+            coordinator_home if coordinator_home is not None
+            else global_id(0, 1), prepare_timeout)
+
+    def _make_coordinator(self, home: int,
+                          prepare_timeout: float) -> TxnCoordinator:
+        self._coordinator_generation += 1
+        return TxnCoordinator(
+            self.sim, self.router, self._submit_to_shard,
+            name=f"txn{self._coordinator_generation}", home=home,
+            prepare_timeout=prepare_timeout, tracer=self.tracer,
+            obs=self.obs)
+
+    # ==================================================================
+    # per-shard plumbing
+    # ==================================================================
+    def cluster_of(self, node: int) -> ReplicaCluster:
+        return self.clusters[shard_of(node)]
+
+    def _submit_replica(self, shard: int) -> Replica:
+        """Deterministic submission target in ``shard``: the
+        coordinator's home node when it lives there, else the lowest
+        running replica id."""
+        cluster = self.clusters[shard]
+        home = self.coordinator.home
+        if home is not None and shard_of(home) == shard:
+            replica = cluster.replicas.get(home)
+            if replica is not None and replica.running:
+                return replica
+        for node in sorted(cluster.replicas):
+            replica = cluster.replicas[node]
+            if replica.running and not replica.engine.exited:
+                return replica
+        raise RuntimeError(f"no running replica in shard {shard}")
+
+    def _submit_to_shard(self, shard: int, update: Any,
+                         on_complete: Optional[Callable[..., None]]
+                         ) -> Any:
+        return self._submit_replica(shard).submit(
+            update=update, on_complete=on_complete)
+
+    # ==================================================================
+    # lifecycle & fault injection
+    # ==================================================================
+    def start_all(self, settle: float = 2.0) -> None:
+        """Start every replica of every shard; run until views settle."""
+        for shard in sorted(self.clusters):
+            for replica in self.clusters[shard].replicas.values():
+                replica.start()
+        if settle > 0:
+            self.run_for(settle)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_idle(self) -> None:
+        self.sim.run()
+
+    def partition(self, *groups: Sequence[int]) -> None:
+        """Partition the shared network.
+
+        Unlike :meth:`Topology.partition`, groups need not cover every
+        node: the leftovers form one remaining component, so a caller
+        can cut one shard's minority away without enumerating the whole
+        fabric.
+        """
+        covered = {node for group in groups for node in group}
+        rest = [node for node in self.topology.nodes
+                if node not in covered]
+        full = [list(group) for group in groups]
+        if rest:
+            full.append(rest)
+        self.topology.partition(full)
+
+    def heal(self) -> None:
+        self.topology.heal()
+
+    def crash(self, node: int) -> None:
+        """Crash a node; the coordinator dies with its home node."""
+        self.cluster_of(node).crash(node)
+        if self.coordinator.alive and self.coordinator.home == node:
+            self.coordinator.halt()
+
+    def recover(self, node: int) -> None:
+        self.cluster_of(node).recover(node)
+
+    # ==================================================================
+    # the client surface
+    # ==================================================================
+    def submit(self, update: Any,
+               on_done: Optional[DoneFn] = None) -> str:
+        """Route an update: shard-local updates commit through their
+        shard's total order, cross-shard ones through the coordinator's
+        prepare/decide/finish protocol.  Returns the transaction id."""
+        return self.coordinator.submit_transaction(update, on_done)
+
+    def submit_local(self, shard: int, update: Any,
+                     on_complete: Optional[Callable[..., None]] = None
+                     ) -> Any:
+        """Submit directly to one shard, bypassing the router (for
+        workloads that pre-partition their keys)."""
+        return self._submit_to_shard(shard, update, on_complete)
+
+    def query(self, query: Any) -> Any:
+        """Strict-consistency read routed by key."""
+        key = query[1]
+        shard = self.router.shard_for_key(key)
+        return self._submit_replica(shard).query_consistent(query)
+
+    # ==================================================================
+    # coordinator recovery
+    # ==================================================================
+    def staged(self) -> Dict[str, Dict[str, Any]]:
+        """Every staged (prepared, unfinished) transaction across all
+        shards, read from one running replica per shard."""
+        merged: Dict[str, Dict[str, Any]] = {}
+        for shard in sorted(self.clusters):
+            database = self._reference_database(shard)
+            if database is None:
+                continue
+            merged.update(staged_transactions(database.state))
+        return merged
+
+    def new_coordinator(self, home: Optional[int] = None,
+                        prepare_timeout: float = 5.0) -> TxnCoordinator:
+        """Replace a crashed coordinator (fresh txn-id namespace)."""
+        self.coordinator = self._make_coordinator(
+            home if home is not None else global_id(0, 1),
+            prepare_timeout)
+        return self.coordinator
+
+    def recover_transactions(self,
+                             on_done: Optional[DoneFn] = None
+                             ) -> List[str]:
+        """The recovery sweep: terminate every staged transaction left
+        behind by a crashed coordinator (abort races the old
+        coordinator's decision; the decider's total order wins)."""
+        return self.coordinator.recover_staged(self.staged(), on_done)
+
+    # ==================================================================
+    # observables (per-shard convergence, digests, green orders)
+    # ==================================================================
+    def _reference_database(self, shard: int) -> Optional[Database]:
+        cluster = self.clusters[shard]
+        for node in sorted(cluster.replicas):
+            replica = cluster.replicas[node]
+            if replica.running and not replica.engine.exited:
+                return replica.database
+        return None
+
+    def sharded_database(self) -> ShardedDatabase:
+        """Router-aware read facade over one live database per shard."""
+        databases: Dict[int, Database] = {}
+        for shard in sorted(self.clusters):
+            database = self._reference_database(shard)
+            if database is None:
+                raise RuntimeError(f"no running replica in shard {shard}")
+            databases[shard] = database
+        return ShardedDatabase(self.router.range_map, databases)
+
+    def digests(self) -> Dict[int, str]:
+        """Per-shard database digests from a live replica each."""
+        return self.sharded_database().digests()
+
+    def green_order(self, shard: int) -> List[Any]:
+        """The shard's applied green order (from a live replica)."""
+        database = self._reference_database(shard)
+        if database is None:
+            raise RuntimeError(f"no running replica in shard {shard}")
+        return list(database.applied_log)
+
+    def green_count(self, shard: int) -> int:
+        database = self._reference_database(shard)
+        return database.applied_count if database is not None else 0
+
+    def assert_converged(self) -> None:
+        """Every shard's replication group converged internally."""
+        for shard in sorted(self.clusters):
+            self.clusters[shard].assert_converged()
+
+    def states(self) -> Dict[int, Dict[int, str]]:
+        return {shard: cluster.states()
+                for shard, cluster in sorted(self.clusters.items())}

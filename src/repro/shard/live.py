@@ -1,0 +1,247 @@
+"""LiveShardFabric: N replication groups on one asyncio event loop.
+
+The wall-clock counterpart of :class:`~repro.shard.fabric.ShardFabric`:
+same router, same coordinator, same global node-id namespace, but each
+shard is a :class:`~repro.runtime.LiveCluster` and all of them share
+one :class:`~repro.runtime.AsyncioRuntime` plus one live transport
+(in-process :class:`~repro.runtime.MemoryTransport` by default, real
+UDP loopback sockets with ``udp=True``).  Because the coordinator is
+runtime-agnostic, not one line of the commit path differs between the
+simulated and the live fabric — which is what the shard conformance
+test (identical per-shard green orders and digests, sim vs UDP)
+demonstrates.
+
+Driving style is ``await``-based like ``LiveCluster``; the waiting
+primitives delegate to the member clusters, so this module needs no
+event-loop imports of its own (the ``seam-import`` rule holds for the
+shard package).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.engine import EngineConfig
+from ..core.replica import Replica
+from ..core.state_machine import EngineState
+from ..db import Database, RangeMap, ShardedDatabase
+from ..gcs import GcsSettings
+from ..obs import Observability
+from ..runtime import (AsyncioRuntime, AsyncioTransport, LiveCluster,
+                       MemoryTransport, loopback_addresses)
+from ..storage import DiskProfile
+from .coordinator import DoneFn, TxnCoordinator
+from .router import KeyRangeRouter, global_id, shard_of, shard_server_ids
+from .txn import install_txn_procedures, staged_transactions
+
+
+class LiveShardFabric:
+    """N live replication groups behind one key-range router."""
+
+    def __init__(self, num_shards: int = 2, replicas_per_shard: int = 3,
+                 *, udp: bool = False,
+                 gcs_settings: Optional[GcsSettings] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 disk_profile: Optional[DiskProfile] = None,
+                 trace: bool = False,
+                 observability: Optional[Observability] = None,
+                 range_map: Optional[RangeMap] = None,
+                 coordinator_home: Optional[int] = None,
+                 prepare_timeout: float = 5.0) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        self.replicas_per_shard = replicas_per_shard
+        self.router = KeyRangeRouter(num_shards, range_map)
+        self.obs = (observability if observability is not None
+                    else Observability())
+
+        self.runtime = AsyncioRuntime()
+        all_ids = [node for shard in range(num_shards)
+                   for node in shard_server_ids(shard, replicas_per_shard)]
+        self.all_ids = all_ids
+        if udp:
+            transport: Any = AsyncioTransport(
+                self.runtime, loopback_addresses(all_ids))
+            for node in all_ids:
+                transport.open(node)
+        else:
+            transport = MemoryTransport(self.runtime)
+        self.transport = transport
+
+        self.clusters: Dict[int, LiveCluster] = {}
+        for shard in range(num_shards):
+            cluster = LiveCluster(
+                shard_server_ids(shard, replicas_per_shard),
+                runtime=self.runtime, transport=transport,
+                gcs_settings=gcs_settings,
+                engine_config=engine_config,
+                disk_profile=disk_profile, trace=trace,
+                observability=self.obs.for_shard(shard), shard=shard)
+            self.clusters[shard] = cluster
+            for replica in cluster.replicas.values():
+                install_txn_procedures(replica.register_procedure)
+
+        self._coordinator_generation = 0
+        self.coordinator = self._make_coordinator(
+            coordinator_home if coordinator_home is not None
+            else global_id(0, 1), prepare_timeout)
+
+    def _make_coordinator(self, home: int,
+                          prepare_timeout: float) -> TxnCoordinator:
+        self._coordinator_generation += 1
+        return TxnCoordinator(
+            self.runtime, self.router, self._submit_to_shard,
+            name=f"txn{self._coordinator_generation}", home=home,
+            prepare_timeout=prepare_timeout, obs=self.obs)
+
+    # ==================================================================
+    # per-shard plumbing (mirrors ShardFabric)
+    # ==================================================================
+    def cluster_of(self, node: int) -> LiveCluster:
+        return self.clusters[shard_of(node)]
+
+    def _submit_replica(self, shard: int) -> Replica:
+        cluster = self.clusters[shard]
+        home = self.coordinator.home
+        if home is not None and shard_of(home) == shard:
+            replica = cluster.replicas.get(home)
+            if replica is not None and replica.running:
+                return replica
+        for node in sorted(cluster.replicas):
+            replica = cluster.replicas[node]
+            if replica.running and not replica.engine.exited:
+                return replica
+        raise RuntimeError(f"no running replica in shard {shard}")
+
+    def _submit_to_shard(self, shard: int, update: Any,
+                         on_complete: Optional[Callable[..., None]]
+                         ) -> Any:
+        return self._submit_replica(shard).submit(
+            update=update, on_complete=on_complete)
+
+    # ==================================================================
+    # lifecycle & faults
+    # ==================================================================
+    def start_all(self) -> None:
+        for shard in sorted(self.clusters):
+            self.clusters[shard].start_all()
+
+    def shutdown(self) -> None:
+        """Tear every cluster down; the shared transport closes once."""
+        for cluster in self.clusters.values():
+            for replica in cluster.replicas.values():
+                if replica.running:
+                    replica.crash()
+        close = getattr(self.transport, "close", None)
+        if close is not None:
+            close()
+        self.runtime.stop()
+
+    def partition(self, *groups: Sequence[int]) -> None:
+        """Software partition on the shared transport; like
+        :meth:`ShardFabric.partition`, uncovered nodes form one
+        remaining component rather than isolated singletons."""
+        covered = {node for group in groups for node in group}
+        rest = [node for node in self.all_ids if node not in covered]
+        full = [list(group) for group in groups]
+        if rest:
+            full.append(rest)
+        self.transport.partition(full)
+
+    def heal(self) -> None:
+        self.transport.heal()
+
+    def crash(self, node: int) -> None:
+        self.cluster_of(node).replicas[node].crash()
+        if self.coordinator.alive and self.coordinator.home == node:
+            self.coordinator.halt()
+
+    # ==================================================================
+    # client surface
+    # ==================================================================
+    def submit(self, update: Any,
+               on_done: Optional[DoneFn] = None) -> str:
+        return self.coordinator.submit_transaction(update, on_done)
+
+    def submit_local(self, shard: int, update: Any,
+                     on_complete: Optional[Callable[..., None]] = None
+                     ) -> Any:
+        return self._submit_to_shard(shard, update, on_complete)
+
+    # ==================================================================
+    # waiting (delegates to the member clusters)
+    # ==================================================================
+    async def wait_all_primary(self, timeout: float) -> None:
+        """Every shard's replicas in REG_PRIM."""
+        for shard in sorted(self.clusters):
+            await self.clusters[shard].wait_all_engine_state(
+                EngineState.REG_PRIM, timeout)
+
+    async def wait_green(self, shard: int, count: int,
+                         timeout: float) -> None:
+        await self.clusters[shard].wait_green(count, timeout)
+
+    async def wait_until(self, predicate: Callable[[], bool],
+                         timeout: float, what: str = "condition") -> None:
+        await self.clusters[0].wait_until(predicate, timeout, what)
+
+    async def run_for(self, seconds: float) -> None:
+        await self.clusters[0].run_for(seconds)
+
+    async def wait_no_inflight(self, timeout: float) -> None:
+        await self.wait_until(lambda: self.coordinator.in_flight == 0,
+                              timeout, "coordinator drain")
+
+    # ==================================================================
+    # recovery & observables
+    # ==================================================================
+    def staged(self) -> Dict[str, Dict[str, Any]]:
+        merged: Dict[str, Dict[str, Any]] = {}
+        for shard in sorted(self.clusters):
+            database = self._reference_database(shard)
+            if database is not None:
+                merged.update(staged_transactions(database.state))
+        return merged
+
+    def new_coordinator(self, home: Optional[int] = None,
+                        prepare_timeout: float = 5.0) -> TxnCoordinator:
+        self.coordinator = self._make_coordinator(
+            home if home is not None else global_id(0, 1),
+            prepare_timeout)
+        return self.coordinator
+
+    def recover_transactions(self,
+                             on_done: Optional[DoneFn] = None
+                             ) -> List[str]:
+        return self.coordinator.recover_staged(self.staged(), on_done)
+
+    def _reference_database(self, shard: int) -> Optional[Database]:
+        cluster = self.clusters[shard]
+        for node in sorted(cluster.replicas):
+            replica = cluster.replicas[node]
+            if replica.running and not replica.engine.exited:
+                return replica.database
+        return None
+
+    def sharded_database(self) -> ShardedDatabase:
+        databases: Dict[int, Database] = {}
+        for shard in sorted(self.clusters):
+            database = self._reference_database(shard)
+            if database is None:
+                raise RuntimeError(f"no running replica in shard {shard}")
+            databases[shard] = database
+        return ShardedDatabase(self.router.range_map, databases)
+
+    def digests(self) -> Dict[int, str]:
+        return self.sharded_database().digests()
+
+    def green_order(self, shard: int) -> List[Any]:
+        database = self._reference_database(shard)
+        if database is None:
+            raise RuntimeError(f"no running replica in shard {shard}")
+        return list(database.applied_log)
+
+    def assert_converged(self) -> None:
+        for shard in sorted(self.clusters):
+            self.clusters[shard].assert_converged()

@@ -1,0 +1,164 @@
+"""Cross-shard transaction records as replicated stored procedures.
+
+The 2PC-style commit path (ISSUE: Sutra & Shapiro's genuine partial
+replication, with :mod:`repro.baselines.twopc` as the reference model)
+stores its protocol state *inside* the replicated databases: prepare,
+decide, and finish records are ``("CALL", ...)`` updates submitted to
+the participant shards, so each record is a green action in that
+shard's total order.  That is the whole trick — the transaction's fate
+rides on the same WAL + quorum machinery as any data write, so it
+survives coordinator crashes and partitions with no extra durability
+protocol:
+
+* ``_txn.prepare`` stages the shard's statement fragment under the
+  reserved ``_shard_txn`` key (nothing user-visible changes yet);
+* ``_txn.decide`` runs at the *decider shard* (lowest participant id):
+  the first decide record in that shard's green order wins, and every
+  later decide — a racing coordinator commit versus a recovery abort —
+  deterministically returns the same winner at every replica;
+* ``_txn.finish`` applies the staged fragment (commit) or discards it
+  (abort); duplicates are no-ops, so redelivery after recovery is safe.
+
+The procedures are deterministic in ``(state, args)`` and must be
+registered identically at every replica of every shard (the fabric
+does).  All staged values are JSON-plain (lists, strings, numbers), so
+they survive the database's snapshot round-trip; staged statements must
+be plain data statements — a staged ``CALL`` would execute without the
+procedure table and abort the whole update deterministically.
+
+Atomicity argument: a fragment becomes user-visible only via a
+finish-commit, a finish-commit is only ever issued after a commit
+decision, and a commit decision is only recorded (first-writer-wins in
+the decider's total order) by a coordinator that saw *every* prepare
+green.  Whatever crashes or partitions happen afterwards, recovery
+reads the decider's green decision and finishes every participant the
+same way — no shard can apply what another shard discards.  (This is
+atomic commitment, not cross-shard serializability: overlapping
+cross-shard transactions may interleave their finish records
+differently on different shards.  Each shard's state remains a
+deterministic function of its own total order.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..db.sql import execute_statement
+
+#: Reserved top-level state key holding transaction protocol state.
+TXN_KEY = "_shard_txn"
+
+TXN_PREPARE = "_txn.prepare"
+TXN_DECIDE = "_txn.decide"
+TXN_FINISH = "_txn.finish"
+
+COMMIT = "commit"
+ABORT = "abort"
+
+
+def _txn_doc(state: Dict[str, Any]) -> Dict[str, Any]:
+    doc = state.get(TXN_KEY)
+    if doc is None:
+        doc = state[TXN_KEY] = {"staged": {}, "decided": {}}
+    return doc
+
+
+def txn_prepare(state: Dict[str, Any], args: Any) -> str:
+    """Stage one shard's fragment of a cross-shard transaction.
+
+    ``args = [txn_id, statements, participants, decider]``.  A prepare
+    arriving after this shard already learned an abort (possible when a
+    recovery abort overtakes a crashed coordinator's prepare) stages
+    nothing.
+    """
+    txn_id, statements, participants, decider = args
+    doc = _txn_doc(state)
+    if doc["decided"].get(txn_id) == ABORT:
+        return "aborted"
+    doc["staged"][txn_id] = {
+        "statements": [list(stmt) for stmt in statements],
+        "participants": [int(p) for p in participants],
+        "decider": int(decider),
+    }
+    return "prepared"
+
+
+def txn_decide(state: Dict[str, Any], args: Any) -> str:
+    """Record the transaction outcome at the decider shard.
+
+    ``args = [txn_id, wanted]``.  First writer wins: the earliest
+    decide record in this shard's green order fixes the outcome, and
+    every replica returns that same winner to every later decide —
+    which is how a racing coordinator commit and a recovery abort
+    resolve identically everywhere.
+    """
+    txn_id, wanted = args
+    if wanted not in (COMMIT, ABORT):
+        wanted = ABORT
+    return str(_txn_doc(state)["decided"].setdefault(txn_id, wanted))
+
+
+def txn_finish(state: Dict[str, Any], args: Any) -> str:
+    """Apply (commit) or discard (abort) the staged fragment.
+
+    ``args = [txn_id, decision]``.  Idempotent: a second finish finds
+    nothing staged and changes nothing.
+    """
+    txn_id, decision = args
+    doc = _txn_doc(state)
+    doc["decided"].setdefault(txn_id, decision)
+    entry = doc["staged"].pop(txn_id, None)
+    if entry is None:
+        return "noop"
+    if decision == COMMIT:
+        for stmt in entry["statements"]:
+            execute_statement(state, tuple(stmt))
+    return str(decision)
+
+
+#: name → procedure, for registration at every replica of every shard.
+TXN_PROCEDURES: Dict[str, Callable[[Dict[str, Any], Any], Any]] = {
+    TXN_PREPARE: txn_prepare,
+    TXN_DECIDE: txn_decide,
+    TXN_FINISH: txn_finish,
+}
+
+
+def install_txn_procedures(register: Callable[[str, Any], None]) -> None:
+    """Register the transaction procedures through ``register(name,
+    proc)`` — typically ``replica.register_procedure``, so they survive
+    crash recovery."""
+    for name, procedure in TXN_PROCEDURES.items():
+        register(name, procedure)
+
+
+# ----------------------------------------------------------------------
+# read-only helpers (recovery sweep, tests)
+# ----------------------------------------------------------------------
+def staged_transactions(state: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Staged (prepared, unfinished) transactions in a database state.
+    Read-only: never creates the protocol document."""
+    doc = state.get(TXN_KEY) or {}
+    return dict(doc.get("staged") or {})
+
+
+def decided_transactions(state: Dict[str, Any]) -> Dict[str, str]:
+    """txn id → outcome, as known to this shard."""
+    doc = state.get(TXN_KEY) or {}
+    return dict(doc.get("decided") or {})
+
+
+def prepare_update(txn_id: str, statements: Any,
+                   participants: List[int], decider: int) -> Any:
+    """The ``("CALL", ...)`` update carrying a prepare record."""
+    return ("CALL", TXN_PREPARE,
+            [txn_id, [list(stmt) for stmt in statements],
+             list(participants), int(decider)])
+
+
+def decide_update(txn_id: str, wanted: str) -> Any:
+    return ("CALL", TXN_DECIDE, [txn_id, wanted])
+
+
+def finish_update(txn_id: str, decision: str) -> Any:
+    return ("CALL", TXN_FINISH, [txn_id, decision])

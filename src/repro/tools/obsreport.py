@@ -55,12 +55,47 @@ def default_spec(replicas: int = 5, actions: int = 100,
     return {"replicas": replicas, "seed": seed, "steps": steps}
 
 
-def build_report(obs: Observability) -> Dict[str, Any]:
-    """Per-replica observability digest from a finished run."""
+def default_shard_spec(shards: int, replicas: int = 3,
+                       actions: int = 100,
+                       seed: int = 0) -> Dict[str, Any]:
+    """The built-in sharded workload: routed single-key updates plus a
+    tail of cross-shard transactions."""
+    steps: List[Dict[str, Any]] = []
+    for i in range(actions - actions // 10):
+        steps.append({"op": "txn", "update": ["SET", f"k{i}", i]})
+    steps.append({"op": "run", "seconds": 2.0})
+    for i in range(actions // 10):
+        steps.append({"op": "txn",
+                      "update": [["SET", f"x{i}", i],
+                                 ["SET", f"y{i}", -i]]})
+    steps.append({"op": "run", "seconds": 3.0})
+    steps.append({"op": "check", "kind": "converged"})
+    return {"shards": shards, "replicas": replicas, "seed": seed,
+            "steps": steps}
+
+
+def build_report(obs: Observability, *,
+                 shards: bool = False) -> Dict[str, Any]:
+    """Per-replica observability digest from a finished run.
+
+    ``shards=True`` additionally groups the replicas by shard (global
+    node ids carry their shard in the id, see
+    :func:`repro.shard.router.shard_of`) under a ``"shards"`` key; the
+    flat ``"replicas"`` table is unchanged, so single-group consumers
+    never notice.
+    """
     snapshot = obs.snapshot()
 
-    def sample(name: str, node: Any) -> float:
-        return snapshot.get(name, {}).get(str(node), 0.0)
+    def sample(name: str, node: Any, default: Any = 0.0) -> Any:
+        entry = snapshot.get(name, {})
+        if str(node) in entry:
+            return entry[str(node)]
+        # Shard-scoped registries key samples as "shard,node": fall
+        # back to the unique key whose node component matches.
+        for key, value in entry.items():
+            if key.split(",")[-1] == str(node):
+                return value
+        return default
 
     doc: Dict[str, Any] = {"replicas": {}}
     for node in sorted(obs.trackers):
@@ -70,8 +105,7 @@ def build_report(obs: Observability) -> Dict[str, Any]:
         durations = tracker.membership_durations()
         forced = sample("repro_disk_forced_writes", node)
         syncs = sample("repro_disk_syncs", node)
-        sync_hist = snapshot.get("repro_disk_sync_wait_seconds",
-                                 {}).get(str(node), {})
+        sync_hist = sample("repro_disk_sync_wait_seconds", node, {})
         doc["replicas"][str(node)] = {
             "actions_completed": tracker.greens_total,
             "red_to_green": dict(zip(("p50", "p95", "p99"), red_green)),
@@ -87,6 +121,16 @@ def build_report(obs: Observability) -> Dict[str, Any]:
                                  / sync_hist["count"]
                                  if sync_hist.get("count") else 0.0),
         }
+    if shards:
+        from ..shard.router import shard_of
+        grouped: Dict[str, Any] = {}
+        for node in sorted(obs.trackers):
+            shard = grouped.setdefault(str(shard_of(node)), {
+                "replicas": [], "actions_completed": 0})
+            shard["replicas"].append(str(node))
+            shard["actions_completed"] += \
+                doc["replicas"][str(node)]["actions_completed"]
+        doc["shards"] = grouped
     return doc
 
 
@@ -113,6 +157,13 @@ def format_table(doc: Dict[str, Any]) -> str:
             f"{_ms(entry['membership_max_s'])}          "
             f"{entry['forced_writes']:>6}/{entry['syncs']:<6} "
             f"{_ms(entry['sync_wait_mean_s'])}")
+    if "shards" in doc:
+        lines.append("")
+        lines.append("shard   replicas                actions")
+        for shard, entry in sorted(doc["shards"].items(),
+                                   key=lambda kv: int(kv[0])):
+            lines.append(f"{shard:>5}   {','.join(entry['replicas']):<22} "
+                         f"{entry['actions_completed']:>7}")
     return "\n".join(lines)
 
 
@@ -132,6 +183,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="execution substrate (default: spec's "
                              "'runtime' key, else sim)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run against a shard fabric of N groups "
+                             "and group the report per shard")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
     args = parser.parse_args(argv)
@@ -139,12 +193,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.spec is not None:
         with open(args.spec, encoding="utf-8") as handle:
             spec = json.load(handle)
+        if args.shards is not None:
+            spec["shards"] = args.shards
+    elif args.shards is not None:
+        spec = default_shard_spec(args.shards, args.replicas,
+                                  args.actions, args.seed)
     else:
         spec = default_spec(args.replicas, args.actions, args.seed)
 
     obs = Observability()
     run_scenario(spec, runtime=args.runtime, observability=obs)
-    doc = build_report(obs)
+    doc = build_report(obs, shards="shards" in spec)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:

@@ -1,0 +1,15 @@
+"""Fixture: a shard policy module reaching into the engine layers.
+
+Every import below is a shard-isolation violation — absolute, dotted
+absolute, and relative forms all resolve to repro.core / repro.gcs.
+"""
+
+import repro.core.engine
+from repro.gcs import GcsDaemon
+
+from ..core.replica import Replica
+from ..gcs.daemon import GcsDaemon as _Daemon
+
+
+def route(engine: object) -> object:
+    return Replica, GcsDaemon, _Daemon, repro.core.engine

@@ -1,0 +1,9 @@
+"""Fixture: the composition root may import the engine layers."""
+
+from repro.core import ReplicaCluster
+
+from ..gcs.daemon import GcsDaemon
+
+
+def build() -> object:
+    return ReplicaCluster, GcsDaemon

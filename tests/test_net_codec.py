@@ -25,6 +25,9 @@ CORPUS = [
     AckMsg(VIEW, 4, 1234),
     HeartbeatMsg(9, VIEW, True, 55),
     HeartbeatMsg(9, None, False, -1),
+    # namespaced heartbeats of a shard fabric (group != 0)
+    HeartbeatMsg(109, VIEW, True, 55, 1),
+    HeartbeatMsg(209, None, False, -1, 2),
     TokenMsg(VIEW, 42, ((1, 40), (2, 41))),
     NackMsg(VIEW, 3, (7, 9, 11), 5),
     NackMsg(VIEW, 3, (), 0),

@@ -1,0 +1,106 @@
+"""Per-shard observability scoping.
+
+One fabric shares one metrics registry across N replication groups;
+each group writes through a :class:`ShardScopedRegistry` that prepends
+a ``shard`` label transparently.  The contract under test: scoped
+writers and the base reader see the same children (no copies, no
+renames), single-group metric names are untouched, and the exported
+text carries the shard label — so a dashboard built for one group
+keeps working and gains a ``shard`` dimension when pointed at a
+fabric.
+"""
+
+from repro.obs import (MetricsRegistry, Observability,
+                       ShardScopedRegistry, prometheus_text)
+
+
+def test_for_shard_on_disabled_observability_is_free():
+    obs = Observability.disabled()
+    assert obs.for_shard(3) is obs
+
+
+def test_for_shard_shares_registry_and_trackers():
+    obs = Observability()
+    scoped = obs.for_shard(1)
+    assert scoped.enabled
+    assert isinstance(scoped.registry, ShardScopedRegistry)
+    assert scoped.trackers is obs.trackers
+    assert scoped.registry.shard == 1
+
+
+def test_scoped_counter_prepends_the_shard_label():
+    base = MetricsRegistry(enabled=True)
+    scoped = ShardScopedRegistry(base, 2)
+    scoped.counter("repro_test_total", "help", ("node",)).labels(7).inc(3)
+
+    # The sample lives in the base registry under ("shard", "node").
+    family = base.collect()[0]
+    assert family.labelnames == ("shard", "node")
+    assert dict(family.samples())[("2", "7")].value == 3
+    # Both ends read back the same child without knowing the other's
+    # shape.
+    assert base.get_sample("repro_test_total", "2", "7").value == 3
+    assert scoped.get_sample("repro_test_total", "7") \
+        is base.get_sample("repro_test_total", "2", "7")
+
+
+def test_scoped_family_shares_children_with_the_base():
+    base = MetricsRegistry(enabled=True)
+    one = ShardScopedRegistry(base, 1)
+    two = ShardScopedRegistry(base, 2)
+    one.counter("repro_x_total", "", ("node",)).labels(1).inc()
+    two.counter("repro_x_total", "", ("node",)).labels(1).inc()
+    # One family, two shard-disjoint children — not two families.
+    assert len(base.collect()) == 1
+    samples = {key for key, _ in base.collect()[0].samples()}
+    assert samples == {("1", "1"), ("2", "1")}
+    # The scoped view filters to its own shard only.
+    scoped_samples = dict(one.counter("repro_x_total", "",
+                                      ("node",)).samples())
+    assert set(scoped_samples) == {("1",)}
+
+
+def test_scoped_callbacks_carry_the_shard_label():
+    base = MetricsRegistry(enabled=True)
+    scoped = ShardScopedRegistry(base, 4)
+    scoped.gauge_callback("repro_depth", lambda: 17.0,
+                          labelnames=("node",), labelvalues=(9,))
+    base.collect()     # callbacks materialise at collection time
+    assert base.get_sample("repro_depth", "4", "9").value == 17.0
+    assert base.snapshot()["repro_depth"] == {"4,9": 17.0}
+
+
+def test_single_group_metric_names_are_unchanged():
+    # A standalone cluster never passes through for_shard: its metric
+    # shapes must be exactly what pre-shard dashboards scrape.
+    base = MetricsRegistry(enabled=True)
+    base.counter("repro_engine_green_actions_total", "",
+                 ("node",)).labels(1).inc()
+    family = base.collect()[0]
+    assert family.labelnames == ("node",)
+    text = prometheus_text(base)
+    assert 'repro_engine_green_actions_total{node="1"} 1' in text
+    assert "shard" not in text
+
+
+def test_prometheus_text_exports_the_shard_label():
+    base = MetricsRegistry(enabled=True)
+    ShardScopedRegistry(base, 0).counter(
+        "repro_engine_green_actions_total", "", ("node",)).labels(1).inc()
+    ShardScopedRegistry(base, 1).counter(
+        "repro_engine_green_actions_total", "", ("node",)).labels(101).inc()
+    text = prometheus_text(base)
+    assert ('repro_engine_green_actions_total'
+            '{shard="0",node="1"} 1') in text
+    assert ('repro_engine_green_actions_total'
+            '{shard="1",node="101"} 1') in text
+
+
+def test_scoped_snapshot_reads_the_whole_fabric():
+    base = MetricsRegistry(enabled=True)
+    scoped = ShardScopedRegistry(base, 1)
+    scoped.counter("repro_y_total", "", ("node",)).labels(2).inc()
+    # snapshot/collect delegate to the base: the fabric-wide view, so
+    # one exporter serves every shard.
+    assert scoped.snapshot() == base.snapshot()
+    assert "repro_y_total" in scoped.snapshot()

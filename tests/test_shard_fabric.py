@@ -1,0 +1,219 @@
+"""Shard fabric: convergence, cross-shard commit/abort, recovery.
+
+The fabric's two core claims, each pinned here:
+
+* **A one-shard fabric is the old system.**  ``ShardFabric(1, n)``
+  must be *bit-identical* to a standalone ``ReplicaCluster(n)`` under
+  the same workload — same simulated event count, same digests — so
+  sharding costs nothing until a second shard exists.
+* **Cross-shard transactions are atomic.**  A transaction either
+  applies at every participant shard or at none, through coordinator
+  crashes, a partition during the commit window, and the recovery
+  sweep racing the crashed coordinator's decision.
+"""
+
+import pytest
+
+from repro.core import ReplicaCluster
+from repro.gcs import GcsSettings
+from repro.shard import ShardFabric, global_id, shard_server_ids
+from repro.storage import DiskProfile
+
+FAST = GcsSettings(heartbeat_interval=0.02, failure_timeout=0.08,
+                   gather_settle=0.02, phase_timeout=0.15)
+DISK = DiskProfile(forced_write_latency=0.001)
+
+
+def make_fabric(num_shards=2, **kwargs):
+    kwargs.setdefault("gcs_settings", FAST)
+    kwargs.setdefault("disk_profile", DISK)
+    fabric = ShardFabric(num_shards=num_shards, replicas_per_shard=3,
+                         seed=0, **kwargs)
+    fabric.start_all(settle=1.5)
+    return fabric
+
+
+def cross_shard_keys(fabric, count=1):
+    """``count`` deterministic (shard-0 key, shard-1 key) pairs."""
+    keys = {0: [], 1: []}
+    probe = 0
+    while min(len(keys[0]), len(keys[1])) < count:
+        key = f"xk{probe}"
+        keys[fabric.router.shard_for_key(key)].append(key)
+        probe += 1
+    return list(zip(keys[0], keys[1]))
+
+
+# ----------------------------------------------------------------------
+# single-shard bit-identity
+# ----------------------------------------------------------------------
+def test_single_shard_fabric_is_bit_identical_to_replica_cluster():
+    def run_fabric():
+        fabric = make_fabric(num_shards=1)
+        for i in range(10):
+            fabric.submit_local(0, ("SET", f"k{i}", i))
+        fabric.run_for(3.0)
+        fabric.assert_converged()
+        return (fabric.sim.events_processed, fabric.sim.now,
+                fabric.digests()[0])
+
+    def run_cluster():
+        cluster = ReplicaCluster(n=3, seed=0, gcs_settings=FAST,
+                                 disk_profile=DISK)
+        cluster.start_all(settle=1.5)
+        for i in range(10):
+            cluster.replicas[1].submit(("SET", f"k{i}", i))
+        cluster.run_for(3.0)
+        cluster.assert_converged()
+        return (cluster.sim.events_processed, cluster.sim.now,
+                cluster.replicas[1].database.digest())
+
+    assert run_fabric() == run_cluster()
+
+
+# ----------------------------------------------------------------------
+# routed commits, healthy fabric
+# ----------------------------------------------------------------------
+def test_local_and_cross_shard_transactions_commit():
+    fabric = make_fabric()
+    outcomes = []
+    fabric.submit(("SET", "b", 1), lambda t, o: outcomes.append(o))
+    fabric.submit(("SET", "a", 2), lambda t, o: outcomes.append(o))
+    (k0, k1), = cross_shard_keys(fabric)
+    fabric.submit([["SET", k0, 10], ["SET", k1, 20]],
+                  lambda t, o: outcomes.append(o))
+    fabric.run_for(8.0)
+
+    assert outcomes == ["commit"] * 3
+    assert fabric.coordinator.local_txns == 2
+    assert fabric.coordinator.commits == 1
+    database = fabric.sharded_database()
+    assert database.get("b") == 1 and database.get("a") == 2
+    assert database.get(k0) == 10 and database.get(k1) == 20
+    assert fabric.staged() == {}
+    fabric.assert_converged()
+    # Every replica of a shard reports the same digest; the two shards
+    # hold disjoint state.
+    digests = fabric.digests()
+    assert len(digests) == 2 and digests[0] != digests[1]
+
+
+def test_routed_reads_see_the_union_keyspace():
+    fabric = make_fabric()
+    fabric.submit(("SET", "a", "ess"))
+    fabric.submit(("SET", "b", "zero"))
+    fabric.run_for(5.0)
+    # "a" lives in shard 1, "b" in shard 0 (pinned in the router
+    # tests); the query surface hides that.
+    assert fabric.query(("GET", "a")) == "ess"
+    assert fabric.query(("GET", "b")) == "zero"
+
+
+# ----------------------------------------------------------------------
+# aborts: no quorum at a participant
+# ----------------------------------------------------------------------
+def test_cross_shard_abort_when_participant_has_no_quorum():
+    fabric = make_fabric(prepare_timeout=1.0)
+    nodes1 = shard_server_ids(1, 3)
+    fabric.partition([nodes1[0]], [nodes1[1]], [nodes1[2]])
+    fabric.run_for(1.0)
+
+    outcomes = []
+    (k0, k1), = cross_shard_keys(fabric)
+    fabric.submit([["SET", k0, 1], ["SET", k1, 2]],
+                  lambda t, o: outcomes.append(o))
+    fabric.run_for(4.0)
+    # Decided (abort) in shard 0's total order; the outcome callback
+    # waits for the finish records, which drain only after the heal.
+    assert outcomes == []
+    fabric.heal()
+    fabric.run_for(6.0)
+
+    assert outcomes == ["abort"]
+    assert fabric.coordinator.aborts == 1
+    database = fabric.sharded_database()
+    assert k0 not in database and k1 not in database
+    assert fabric.staged() == {}
+    fabric.assert_converged()
+
+
+# ----------------------------------------------------------------------
+# the pinned recovery scenario: coordinator crash mid-commit,
+# participant partitioned, no half-applied transaction
+# ----------------------------------------------------------------------
+def test_recovery_after_coordinator_crash_mid_commit():
+    fabric = make_fabric(prepare_timeout=5.0)
+    (k0, k1), = cross_shard_keys(fabric)
+
+    # The coordinator decides commit (green in shard 0, the decider),
+    # then crashes before any finish record — the classic 2PC window.
+    fabric.coordinator.fail_before_finish = True
+    fabric.submit([["SET", k0, 111], ["SET", k1, 222]])
+    fabric.run_for(4.0)
+    assert not fabric.coordinator.alive
+    database = fabric.sharded_database()
+    assert k0 not in database and k1 not in database, \
+        "no finish record may have applied anything yet"
+    assert set(fabric.staged()) != set(), "fragments must be staged"
+
+    # Pile on: the home node crashes too, and one shard-1 replica is
+    # partitioned away during recovery.
+    fabric.crash(global_id(0, 1))
+    fabric.partition([global_id(1, 1)])
+    fabric.run_for(1.0)
+
+    outcomes = []
+    fabric.new_coordinator(home=global_id(0, 2))
+    swept = fabric.recover_transactions(
+        lambda t, o: outcomes.append((t, o)))
+    assert len(swept) == 1
+    fabric.run_for(5.0)
+    fabric.heal()
+    fabric.recover(global_id(0, 1))
+    fabric.run_for(6.0)
+
+    # The recovery abort raced the crashed coordinator's commit at the
+    # decider — and lost: first writer wins, so the transaction applies
+    # everywhere.
+    assert [o for _t, o in outcomes] == ["commit"]
+    database = fabric.sharded_database()
+    assert database.get(k0) == 111 and database.get(k1) == 222
+    assert fabric.staged() == {}
+    fabric.assert_converged()
+
+
+def test_recovery_aborts_undecided_transactions():
+    fabric = make_fabric(prepare_timeout=60.0)
+    (k0, k1), = cross_shard_keys(fabric)
+    # Shard 1 has no quorum, so the transaction cannot be decided; the
+    # shard-0 prepare goes green and stays staged.
+    nodes1 = shard_server_ids(1, 3)
+    fabric.partition([nodes1[0]], [nodes1[1]], [nodes1[2]])
+    fabric.run_for(1.0)
+    fabric.submit([["SET", k0, 1], ["SET", k1, 2]])
+    fabric.run_for(2.0)
+    # The coordinator crashes while the transaction is undecided, then
+    # the partition heals: both shards now hold a staged fragment and
+    # no decision anywhere.
+    fabric.coordinator.halt()
+    fabric.heal()
+    fabric.run_for(4.0)
+    assert set(fabric.staged()), "prepares must be staged"
+
+    outcomes = []
+    fabric.new_coordinator(home=global_id(0, 2))
+    fabric.recover_transactions(lambda t, o: outcomes.append(o))
+    fabric.run_for(4.0)
+
+    # Nobody decided commit, so the sweep's abort wins and nothing
+    # user-visible ever appears on either shard.
+    assert outcomes == ["abort"]
+    database = fabric.sharded_database()
+    assert k0 not in database and k1 not in database
+    assert fabric.staged() == {}
+    fabric.assert_converged()
+
+
+def test_fabric_rejects_degenerate_shapes():
+    with pytest.raises(ValueError):
+        ShardFabric(num_shards=0)

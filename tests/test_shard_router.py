@@ -1,0 +1,175 @@
+"""Key→shard router properties: total, deterministic, stable placement.
+
+The router is the contract that lets the simulated and the live fabric
+agree on key placement without ever talking to each other — so its
+properties are checked generatively: every key of every plausible type
+must land in exactly one shard, identically across router instances,
+and the split of an update into per-shard fragments must lose nothing,
+duplicate nothing, and preserve per-shard statement order.  A few
+literal pins guard the hash itself: silently changing the placement
+function would corrupt every mixed-version deployment, so the exact
+SHA-256-derived ring positions are asserted as constants.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.partition import KEYSPACE, RangeMap, even_ranges, hash_key
+from repro.shard import (SHARD_STRIDE, KeyRangeRouter, RouterError,
+                         global_id, local_id, shard_of, shard_server_ids,
+                         statement_key)
+
+# Any value a statement might carry as its key.
+KEYS = (st.text(max_size=30) | st.integers() | st.booleans()
+        | st.floats(allow_nan=False) | st.none())
+
+SHARD_COUNTS = st.integers(min_value=1, max_value=9)
+
+
+# ----------------------------------------------------------------------
+# the global node-id namespace
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=50),
+       st.integers(min_value=1, max_value=SHARD_STRIDE - 1))
+def test_global_id_roundtrip(shard, local):
+    node = global_id(shard, local)
+    assert shard_of(node) == shard
+    assert local_id(node) == local
+
+
+def test_shard_zero_keeps_plain_ids():
+    # The single-shard bit-identity story depends on this.
+    assert shard_server_ids(0, 5) == [1, 2, 3, 4, 5]
+    assert shard_server_ids(1, 3) == [101, 102, 103]
+
+
+def test_global_id_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        global_id(-1, 1)
+    with pytest.raises(ValueError):
+        global_id(0, 0)
+    with pytest.raises(ValueError):
+        global_id(0, SHARD_STRIDE)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=20),
+       st.integers(min_value=1, max_value=20))
+def test_shard_server_ids_disjoint_across_shards(shard, count):
+    ids = shard_server_ids(shard, count)
+    assert len(set(ids)) == count
+    assert all(shard_of(node) == shard for node in ids)
+    other = shard_server_ids(shard + 1, count)
+    assert not set(ids) & set(other)
+
+
+# ----------------------------------------------------------------------
+# placement: total, deterministic, stable
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(KEYS, SHARD_COUNTS)
+def test_placement_total_and_deterministic(key, num_shards):
+    shard = KeyRangeRouter(num_shards).shard_for_key(key)
+    assert 0 <= shard < num_shards
+    # A second, independently built router agrees: placement is a pure
+    # function of (key, shard count), never of instance state.
+    assert KeyRangeRouter(num_shards).shard_for_key(key) == shard
+
+
+@settings(max_examples=300, deadline=None)
+@given(KEYS)
+def test_hash_key_in_ring(key):
+    assert 0 <= hash_key(key) < KEYSPACE
+
+
+def test_hash_key_is_pinned():
+    """The exact ring positions are wire contract: changing the hash
+    silently re-homes every key of every existing deployment."""
+    assert hash_key("a") == 3398926610
+    assert hash_key("b") == 1042540566
+    assert hash_key(0) == 1609362278
+    assert KeyRangeRouter(2).shard_for_key("a") == 1
+    assert KeyRangeRouter(2).shard_for_key("b") == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(SHARD_COUNTS)
+def test_even_ranges_tile_the_keyspace(num_shards):
+    ranges = even_ranges(num_shards)
+    assert ranges[0].lo == 0
+    assert ranges[-1].hi == KEYSPACE
+    for left, right in zip(ranges, ranges[1:]):
+        assert left.hi == right.lo
+    range_map = RangeMap.even(num_shards)
+    assert range_map.shard_ids == list(range(num_shards))
+
+
+def test_range_map_rejects_gaps_and_overlaps():
+    ranges = even_ranges(2)
+    with pytest.raises(ValueError):
+        RangeMap([(ranges[0], 0)])                     # stops short
+    with pytest.raises(ValueError):
+        RangeMap([(ranges[1], 1)])                     # starts late
+    with pytest.raises(ValueError):
+        RangeMap([(ranges[0], 0), (ranges[0], 1)])     # overlap
+
+
+# ----------------------------------------------------------------------
+# update classification and splitting
+# ----------------------------------------------------------------------
+STATEMENTS = st.lists(
+    st.tuples(st.sampled_from(["SET", "INC", "DEL"]), KEYS,
+              st.integers(min_value=-5, max_value=5)),
+    min_size=1, max_size=8)
+
+
+@settings(max_examples=300, deadline=None)
+@given(STATEMENTS, SHARD_COUNTS)
+def test_split_update_loses_nothing(statements, num_shards):
+    router = KeyRangeRouter(num_shards)
+    fragments = router.split_update(statements)
+    # Every fragment is homed where its statements' keys live...
+    for shard, stmts in fragments.items():
+        assert stmts, "empty fragment"
+        for stmt in stmts:
+            assert router.shard_for_key(statement_key(stmt)) == shard
+    # ...per-shard statement order is the submission order...
+    for shard, stmts in fragments.items():
+        expected = [tuple(stmt) for stmt in statements
+                    if router.shard_for_key(statement_key(stmt)) == shard]
+        assert [tuple(stmt) for stmt in stmts] == expected
+    # ...and the union is exactly the original statement multiset.
+    total = sum(len(stmts) for stmts in fragments.values())
+    assert total == len(statements)
+    assert router.is_local(statements) == (len(fragments) == 1)
+    assert router.shards_for_update(statements) == sorted(fragments)
+
+
+def test_single_statement_update_routes_without_nesting():
+    router = KeyRangeRouter(2)
+    assert router.split_update(("SET", "a", 1)) == {1: (("SET", "a", 1),)}
+    assert router.is_local(("INC", "b", 1))
+
+
+def test_call_statements_route_by_first_string_argument():
+    router = KeyRangeRouter(2)
+    assert statement_key(("CALL", "proc", ["a", 1])) == "a"
+    assert router.shards_for_update(("CALL", "proc", ["a", 1])) == [1]
+
+
+def test_unroutable_statements_raise():
+    with pytest.raises(RouterError):
+        statement_key(())
+    with pytest.raises(RouterError):
+        statement_key(("SET",))
+    with pytest.raises(RouterError):
+        statement_key(("NOOP",))
+    with pytest.raises(RouterError):
+        statement_key(("CALL", "proc", [42]))
+
+
+def test_router_rejects_degenerate_shard_counts():
+    with pytest.raises(ValueError):
+        KeyRangeRouter(0)
