@@ -422,6 +422,152 @@ def scenario_obs_overhead(smoke: bool = False) -> Dict[str, Any]:
     }
 
 
+# Maximum tolerated slowdown of the fig5a workload with distributed
+# tracing (trace-context stamping + flight recorder + staleness
+# probes) enabled on top of full observability.
+TRACE_OVERHEAD_LIMIT = 0.03
+# Same shared-runner noise argument as OBS_OVERHEAD_SMOKE_LIMIT.
+TRACE_OVERHEAD_SMOKE_LIMIT = 0.12
+
+
+@scenario("trace_overhead")
+def scenario_trace_overhead(smoke: bool = False) -> Dict[str, Any]:
+    """Tracing must be near-free: the flight recorder, trace-context
+    stamping, and staleness probe on vs plain observability.
+
+    Two parts.  **Determinism pin** (full mode): the exact fig5a
+    workload runs once per variant and must process the identical
+    (event count, sim seconds) stream — 3,362,977 events at this seed
+    — proving the recorder never touches the clock or the RNG (the
+    ``flight-clock`` analyzer rule, enforced end to end).
+
+    **Overhead gate**: the baseline already carries the full
+    metrics/spans instrumentation, so the delta isolates what the
+    tracing tentpole added.  The true delta is well under 1% of
+    engine CPU (cProfile puts it at ~0.7% at 14 clients), but this
+    runner's noise floor is an order of magnitude above that:
+    *identical* back-to-back runs spread over 20%.  A fixed-round
+    protocol therefore gates on luck, not on the code.  Instead the
+    gate samples short interleaved pairs *adaptively* and stops as
+    soon as ``min(paired-ratio median, floor)`` clears the budget.
+    The floor estimator — min over all samples per variant — is sound
+    under one-sided noise: contention only ever adds time, so more
+    samples only sharpen the floor, and a real regression shifts the
+    tracing-on floor up persistently where no amount of sampling can
+    get it back under the budget.  Failing runs exhaust
+    ``max_rounds`` first.
+    """
+    # Gate at 14 clients: the densest instrumentation traffic (every
+    # action costs ~29 ring appends across the cluster), i.e. the
+    # worst case for tracing overhead, and short enough (~1.5s a
+    # sample) that pairs interleave faster than the box's load drift.
+    gate_counts = [14]
+    duration = 0.5 if smoke else 1.0
+    warmup = 0.2 if smoke else 0.3
+    min_rounds = 4 if smoke else 6
+    max_rounds = 12 if smoke else 24
+    limit = TRACE_OVERHEAD_SMOKE_LIMIT if smoke else TRACE_OVERHEAD_LIMIT
+
+    def run_once(tracing: bool, counts: List[int], run_duration: float,
+                 run_warmup: float) -> Tuple[float, int, float]:
+        obs = (Observability(flight=True, staleness=True) if tracing
+               else Observability())
+        build, systems = _capturing(engine_factory(observability=obs))
+        gc.collect()
+        gc.disable()
+        start = time.process_time()
+        try:
+            sweep_clients(build, counts, duration=run_duration,
+                          warmup=run_warmup)
+        finally:
+            gc.enable()
+        wall = time.process_time() - start
+        events = sum(s.sim.events_processed for s in systems)
+        sim_seconds = sum(s.sim.now for s in systems)
+        return wall, events, sim_seconds
+
+    pin_events = 0
+    pin_sim = 0.0
+    if not smoke:
+        off_pin = run_once(False, CLIENT_COUNTS, 3.0, 1.0)
+        on_pin = run_once(True, CLIENT_COUNTS, 3.0, 1.0)
+        if on_pin[1:] != off_pin[1:]:
+            raise SystemExit(
+                f"tracing changed the fig5a simulation: tracing-on ran "
+                f"{on_pin[1:]} (events, sim s) vs tracing-off "
+                f"{off_pin[1:]}")
+        pin_events, pin_sim = on_pin[1], on_pin[2]
+
+    walls: Dict[str, List[float]] = {"off": [], "on": []}
+    identity: Dict[str, Tuple[int, float]] = {}
+    pair = [("off", False), ("on", True)]
+    median_overhead = floor_overhead = overhead = None
+    passed = False
+    rounds_used = 0
+    for round_index in range(max_rounds + 1):
+        for key, tracing in (pair if round_index % 2 == 0
+                             else list(reversed(pair))):
+            wall, events, sim_seconds = run_once(
+                tracing, gate_counts, duration, warmup)
+            # Every run of the gate workload must replay the same
+            # stream — within a variant (determinism) and across the
+            # variants (tracing changes nothing).
+            signature = (events, sim_seconds)
+            prior = identity.setdefault(key, signature)
+            if signature != prior:
+                raise SystemExit(
+                    f"nondeterministic gate workload: tracing-{key} "
+                    f"ran {signature} (events, sim s) vs {prior}")
+            if round_index > 0:       # round 0 warms caches, discarded
+                walls[key].append(wall)
+        if round_index == 0:
+            continue
+        rounds_used = round_index
+        if round_index < min_rounds:
+            continue
+        ratios = sorted(on / off
+                        for on, off in zip(walls["on"], walls["off"]))
+        median_overhead = ratios[len(ratios) // 2] - 1.0
+        floor_overhead = min(walls["on"]) / min(walls["off"]) - 1.0
+        overhead = min(median_overhead, floor_overhead)
+        if overhead < limit:
+            passed = True
+            break
+    if identity["on"] != identity["off"]:
+        raise SystemExit(
+            f"tracing changed the simulation: tracing-on ran "
+            f"{identity['on']} (events, sim s) vs tracing-off "
+            f"{identity['off']}")
+    assert overhead is not None            # min_rounds <= max_rounds
+    assert median_overhead is not None and floor_overhead is not None
+    if not passed:
+        raise SystemExit(
+            f"tracing overhead {overhead * 100:.2f}% exceeds the "
+            f"{limit * 100:.0f}% budget after {rounds_used} rounds "
+            f"(paired-ratio median {median_overhead * 100:.2f}%, "
+            f"floor {floor_overhead * 100:.2f}%: off "
+            f"{min(walls['off']):.4f}s vs on {min(walls['on']):.4f}s)")
+    off_wall = min(walls["off"])
+    on_wall = min(walls["on"])
+    events = pin_events if not smoke else identity["on"][0]
+    sim_seconds = pin_sim if not smoke else identity["on"][1]
+    return {
+        "wall_seconds": round(on_wall, 3),
+        "events": events,
+        "events_per_sec": round(identity["on"][0] / on_wall, 1)
+        if on_wall else 0.0,
+        "sim_seconds": round(sim_seconds, 3),
+        "peak_heap": 0,
+        "off_wall_seconds": round(off_wall, 4),
+        "on_wall_seconds": round(on_wall, 4),
+        "trace_overhead_pct": round(overhead * 100, 2),
+        "trace_overhead_median_pct": round(median_overhead * 100, 2),
+        "trace_overhead_floor_pct": round(floor_overhead * 100, 2),
+        "overhead_limit_pct": limit * 100,
+        "gate_rounds": rounds_used,
+    }
+
+
 #: shard counts of the sharding weak-scaling sweep.
 SHARD_SWEEP = [1, 2, 4]
 #: minimum aggregate green-actions/sec speedup at the top of the sweep

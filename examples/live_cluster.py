@@ -15,6 +15,7 @@ Run:  python examples/live_cluster.py            # three processes, UDP
       python examples/live_cluster.py --metrics-port 9100   # + /metrics
       python examples/live_cluster.py --wire-batch 16   # coalesced wire
       python examples/live_cluster.py --shards 2     # shard fabric, 2 groups
+      python examples/live_cluster.py --trace-out traces/   # flight dumps
 
 The multi-process mode binds all UDP sockets in the parent and forks,
 so children never race for ports.  Exit code 0 means every node
@@ -66,6 +67,26 @@ def cluster_settings(wire_batch):
     return live_gcs_settings(wire=WireBatchConfig(max_batch=wire_batch))
 
 
+def tracing_obs(trace_out):
+    """An Observability bundle with the flight recorder on when
+    ``--trace-out`` was given (None otherwise: cluster default)."""
+    if trace_out is None:
+        return None
+    from repro.obs import Observability
+    return Observability(flight=True, staleness=True)
+
+
+def dump_traces(obs, trace_out, label):
+    """Write the per-node flight rings to ``trace_out`` (merge the
+    JSONL files afterwards with ``repro-trace``)."""
+    if obs is None:
+        return
+    from repro.tools.tracecli import dump_flight
+    paths = dump_flight(obs, trace_out)
+    print(f"{label}: wrote {len(paths)} flight dumps to {trace_out}",
+          flush=True)
+
+
 async def scrape_own_metrics(cluster, label):
     """Self-scrape the cluster's HTTP endpoint and lint the exposition
     text; raises if the scrape would not ingest cleanly."""
@@ -84,14 +105,16 @@ async def scrape_own_metrics(cluster, label):
 
 
 async def drive_node(node, addresses, sockets, start_at, results,
-                     metrics_port=None, wire_batch=None):
+                     metrics_port=None, wire_batch=None, trace_out=None):
     """One node's life: boot, serve, partition, merge, report."""
     from repro.core.state_machine import EngineState
     from repro.runtime import udp_cluster
 
+    obs = tracing_obs(trace_out)
     cluster = udp_cluster(SERVER_IDS, hosted=[node],
                           addresses=addresses, sockets=sockets,
-                          gcs_settings=cluster_settings(wire_batch))
+                          gcs_settings=cluster_settings(wire_batch),
+                          observability=obs)
     if metrics_port is not None:
         # One endpoint per process; a fixed base port spreads out as
         # base+node-1, port 0 stays OS-assigned everywhere.
@@ -130,20 +153,21 @@ async def drive_node(node, addresses, sockets, start_at, results,
     order = [tuple(a) for a in cluster.green_order(node)]
     digest = cluster.replicas[node].database.digest()
     results.put((node, order, digest))
+    dump_traces(obs, trace_out, f"node {node}")
     cluster.shutdown()
 
 
 def node_process(node, addresses, sockets, start_at, results,
-                 metrics_port=None, wire_batch=None):
+                 metrics_port=None, wire_batch=None, trace_out=None):
     try:
         asyncio.run(drive_node(node, addresses, sockets, start_at, results,
-                               metrics_port, wire_batch))
+                               metrics_port, wire_batch, trace_out))
     except Exception as failure:  # pragma: no cover - report, don't hang
         results.put((node, "ERROR", repr(failure)))
         raise
 
 
-def run_multiprocess(metrics_port=None, wire_batch=None):
+def run_multiprocess(metrics_port=None, wire_batch=None, trace_out=None):
     banner("three processes, UDP loopback"
            + (f", wire batching x{wire_batch}"
               if wire_batch and wire_batch > 1 else ""))
@@ -167,7 +191,7 @@ def run_multiprocess(metrics_port=None, wire_batch=None):
         proc = ctx.Process(
             target=node_process, name=f"replica-{node}",
             args=(node, addresses, {node: sockets[node]}, start_at,
-                  results, metrics_port, wire_batch))
+                  results, metrics_port, wire_batch, trace_out))
         proc.start()
         workers.append(proc)
     for sock in sockets.values():
@@ -187,7 +211,7 @@ def run_multiprocess(metrics_port=None, wire_batch=None):
 
 
 async def drive_shard_node(node, server_ids, addresses, sockets, start_at,
-                           results, wire_batch=None):
+                           results, wire_batch=None, trace_out=None):
     """One sharded node's life: same script as :func:`drive_node`, but
     against its own shard's replication group (global node ids)."""
     from repro.core.state_machine import EngineState
@@ -195,10 +219,11 @@ async def drive_shard_node(node, server_ids, addresses, sockets, start_at,
     from repro.shard.router import shard_of
 
     shard = shard_of(node)
+    obs = tracing_obs(trace_out)
     cluster = udp_cluster(server_ids, hosted=[node],
                           addresses=addresses, sockets=sockets,
                           gcs_settings=cluster_settings(wire_batch),
-                          shard=shard)
+                          shard=shard, observability=obs)
     loop = asyncio.get_event_loop()
     await asyncio.sleep(max(0.0, start_at - loop.time()))
     origin = loop.time()
@@ -222,20 +247,22 @@ async def drive_shard_node(node, server_ids, addresses, sockets, start_at,
     order = [tuple(a) for a in cluster.green_order(node)]
     digest = cluster.replicas[node].database.digest()
     results.put((node, order, digest))
+    dump_traces(obs, trace_out, f"node {node}")
     cluster.shutdown()
 
 
 def shard_node_process(node, server_ids, addresses, sockets, start_at,
-                       results, wire_batch=None):
+                       results, wire_batch=None, trace_out=None):
     try:
         asyncio.run(drive_shard_node(node, server_ids, addresses, sockets,
-                                     start_at, results, wire_batch))
+                                     start_at, results, wire_batch,
+                                     trace_out))
     except Exception as failure:  # pragma: no cover - report, don't hang
         results.put((node, "ERROR", repr(failure)))
         raise
 
 
-def run_shard_multiprocess(shards, wire_batch=None):
+def run_shard_multiprocess(shards, wire_batch=None, trace_out=None):
     from repro.shard.router import shard_server_ids
     banner(f"{shards} shards x three processes, UDP loopback"
            + (f", wire batching x{wire_batch}"
@@ -264,7 +291,7 @@ def run_shard_multiprocess(shards, wire_batch=None):
                 target=shard_node_process, name=f"replica-{node}",
                 args=(node, server_ids, shard_addresses,
                       {node: sockets[node]}, start_at, results,
-                      wire_batch))
+                      wire_batch, trace_out))
             proc.start()
             workers.append(proc)
     for sock in sockets.values():
@@ -283,15 +310,17 @@ def run_shard_multiprocess(shards, wire_batch=None):
     return reports
 
 
-def run_shard_in_process(shards, wire_batch=None):
+def run_shard_in_process(shards, wire_batch=None, trace_out=None):
     banner(f"{shards} shards, one process, in-memory transport"
            + (f", wire batching x{wire_batch}"
               if wire_batch and wire_batch > 1 else ""))
 
     async def main():
         from repro.shard import LiveShardFabric
+        obs = tracing_obs(trace_out)
         fabric = LiveShardFabric(
-            shards, 3, gcs_settings=cluster_settings(wire_batch))
+            shards, 3, gcs_settings=cluster_settings(wire_batch),
+            observability=obs)
         fabric.start_all()
         await fabric.wait_all_primary(timeout=10)
 
@@ -341,13 +370,14 @@ def run_shard_in_process(shards, wire_batch=None):
             print(f"cross-shard txn committed atomically: "
                   f"{key_for[0]}={applied[0]!r} (shard 0), "
                   f"{key_for[1]}={applied[1]!r} (shard 1)", flush=True)
+        dump_traces(obs, trace_out, "fabric")
         fabric.shutdown()
         return reports
 
     return asyncio.run(main())
 
 
-def run_in_process(metrics_port=None, wire_batch=None):
+def run_in_process(metrics_port=None, wire_batch=None, trace_out=None):
     banner("single process, in-memory transport"
            + (f", wire batching x{wire_batch}"
               if wire_batch and wire_batch > 1 else ""))
@@ -355,8 +385,10 @@ def run_in_process(metrics_port=None, wire_batch=None):
     async def main():
         from repro.core.state_machine import EngineState
         from repro.runtime import LiveCluster
+        obs = tracing_obs(trace_out)
         cluster = LiveCluster(SERVER_IDS,
-                              gcs_settings=cluster_settings(wire_batch))
+                              gcs_settings=cluster_settings(wire_batch),
+                              observability=obs)
         if metrics_port is not None:
             server = await cluster.serve_metrics(port=metrics_port)
             print(f"metrics on 127.0.0.1:{server.port}", flush=True)
@@ -382,6 +414,7 @@ def run_in_process(metrics_port=None, wire_batch=None):
         reports = {node: ([tuple(a) for a in cluster.green_order(node)],
                           cluster.replicas[node].database.digest())
                    for node in SERVER_IDS}
+        dump_traces(obs, trace_out, "cluster")
         cluster.shutdown()
         return reports
 
@@ -459,17 +492,25 @@ def main():
                         help="run a shard fabric of N replication "
                              "groups (3 replicas each) instead of one "
                              "group; the verdict checks per shard")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="enable distributed tracing and dump every "
+                             "node's flight recorder into DIR as JSONL "
+                             "(merge with repro-trace DIR)")
     args = parser.parse_args()
     if args.shards is not None:
         if args.in_process:
-            reports = run_shard_in_process(args.shards, args.wire_batch)
+            reports = run_shard_in_process(args.shards, args.wire_batch,
+                                           args.trace_out)
         else:
-            reports = run_shard_multiprocess(args.shards, args.wire_batch)
+            reports = run_shard_multiprocess(args.shards, args.wire_batch,
+                                             args.trace_out)
         return check_sharded(reports, args.shards)
     if args.in_process:
-        reports = run_in_process(args.metrics_port, args.wire_batch)
+        reports = run_in_process(args.metrics_port, args.wire_batch,
+                                 args.trace_out)
     else:
-        reports = run_multiprocess(args.metrics_port, args.wire_batch)
+        reports = run_multiprocess(args.metrics_port, args.wire_batch,
+                                   args.trace_out)
     return check(reports)
 
 

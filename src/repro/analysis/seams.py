@@ -25,6 +25,12 @@ This analyzer keeps the seam honest:
   encoders and decoders.  Unlike the other rules this one also covers
   the otherwise-exempt packages (a runtime adapter hand-packing frames
   would bypass the codec's versioned header just as badly).
+* **flight-clock** — the flight recorder (:mod:`repro.obs.flight`)
+  importing a time source (``time``, ``datetime``) or evaluating a
+  ``.now`` attribute.  Flight-recorder timestamps must arrive as
+  caller parameters off the Runtime clock: a recorder that reads its
+  own clock would silently diverge between simulated and live runs
+  and could perturb the fig5a determinism pin.
 * **shard-isolation** — shard *policy* modules (everything in
   :mod:`repro.shard` except the composition roots ``fabric`` and
   ``live``) importing :mod:`repro.core` or :mod:`repro.gcs`, whether
@@ -53,6 +59,7 @@ RULE_IMPORT = "seam-import"
 RULE_BLOCKING_IO = "seam-blocking-io"
 RULE_FRAMING = "seam-framing"
 RULE_SHARD_ISOLATION = "shard-isolation"
+RULE_FLIGHT_CLOCK = "flight-clock"
 
 #: Subpackages of ``repro`` allowed to touch the host runtime directly.
 SEAM_EXEMPT_PACKAGES = frozenset({"runtime", "tools", "analysis"})
@@ -78,6 +85,12 @@ _SHARD_COMPOSITION_ROOTS = frozenset({"fabric", "live"})
 #: repro subpackages the shard policy modules must not reach into.
 _SHARD_FORBIDDEN_PACKAGES = frozenset({"core", "gcs"})
 
+#: The flight recorder: timestamps are caller parameters, never read.
+_FLIGHT_MODULE = ("repro", "obs", "flight")
+
+#: Time sources the flight recorder must not import.
+_CLOCK_MODULES = frozenset({"time", "datetime"})
+
 
 class SeamEnforcer:
     """Verify protocol code reaches the host only through the seam."""
@@ -96,6 +109,10 @@ class SeamEnforcer:
         if subpackage_of(path) is None:
             return False
         return module_parts(path)[-3:] != _CODEC_MODULE
+
+    def in_flight_scope(self, path: Path) -> bool:
+        """The flight-clock rule covers exactly the recorder module."""
+        return module_parts(path)[-3:] == _FLIGHT_MODULE
 
     def in_shard_scope(self, path: Path) -> bool:
         """Shard isolation covers the shard package's policy modules —
@@ -118,16 +135,19 @@ class SeamEnforcer:
             seam = self.in_scope(path)
             framing = self.in_framing_scope(path)
             shard = self.in_shard_scope(path)
-            if not seam and not framing and not shard:
+            flight = self.in_flight_scope(path)
+            if not seam and not framing and not shard and not flight:
                 continue
             source = parse_file(path)
             findings.extend(iter_findings(
-                self._check_source(source, seam, framing, shard), source))
+                self._check_source(source, seam, framing, shard, flight),
+                source))
         return findings
 
     def _check_source(self, source: SourceFile, seam: bool = True,
                       framing: bool = True,
-                      shard: bool = False) -> List[Finding]:
+                      shard: bool = False,
+                      flight: bool = False) -> List[Finding]:
         findings: List[Finding] = []
         path = str(source.path)
         package = self._shard_package(source.path) if shard else ()
@@ -135,6 +155,10 @@ class SeamEnforcer:
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     top = alias.name.split(".")[0]
+                    if flight and top in _CLOCK_MODULES:
+                        findings.append(self._flight_finding(
+                            node.lineno, path,
+                            f"import of {alias.name!r}"))
                     if seam and top in _BANNED_MODULES:
                         findings.append(Finding(
                             rule=RULE_IMPORT, path=path, line=node.lineno,
@@ -159,6 +183,10 @@ class SeamEnforcer:
                 if node.level:
                     continue               # relative import, in-package
                 top = (node.module or "").split(".")[0]
+                if flight and top in _CLOCK_MODULES:
+                    findings.append(self._flight_finding(
+                        node.lineno, path,
+                        f"import from {node.module!r}"))
                 if seam and top in _BANNED_MODULES:
                     findings.append(Finding(
                         rule=RULE_IMPORT, path=path, line=node.lineno,
@@ -170,6 +198,10 @@ class SeamEnforcer:
                 if framing and top in _FRAMING_MODULES:
                     findings.append(self._framing_finding(
                         node.lineno, path, node.module or top))
+            elif isinstance(node, ast.Attribute):
+                if flight and node.attr == "now":
+                    findings.append(self._flight_finding(
+                        node.lineno, path, "evaluation of '.now'"))
             elif seam and isinstance(node, ast.Call):
                 findings.extend(self._blocking_call(node, path))
         return findings
@@ -200,6 +232,15 @@ class SeamEnforcer:
                      f"composition roots (repro.shard.fabric, "
                      f"repro.shard.live) may touch the engine and GCS "
                      f"layers"),
+            analyzer=ANALYZER)
+
+    def _flight_finding(self, line: int, path: str,
+                        what: str) -> Finding:
+        return Finding(
+            rule=RULE_FLIGHT_CLOCK, path=path, line=line,
+            message=(f"{what} in the flight recorder; timestamps must "
+                     f"be caller parameters off the Runtime clock so "
+                     f"recording never perturbs determinism"),
             analyzer=ANALYZER)
 
     def _framing_finding(self, line: int, path: str,

@@ -78,6 +78,10 @@ class ReplicaCluster:
                                    rng=self.streams.stream("network"),
                                    tracer=self.tracer)
         self.runtime = self.sim
+        # With tracing on, mirror tracer records (state transitions,
+        # installs, disk syncs, crashes) into the flight rings.
+        if self.obs.flight_hub is not None:
+            self.obs.flight_hub.attach(self.tracer)
         self.directory: Set[int] = set(self.server_ids)
         self.gcs_settings = gcs_settings or GcsSettings()
         self.disk_profile = disk_profile

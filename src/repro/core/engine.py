@@ -25,6 +25,7 @@ Faithfulness notes (pseudo-code references in parentheses):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
@@ -32,7 +33,12 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
 
 from ..db import Action, ActionId, ActionType, Database
 from ..gcs import Configuration, GroupChannel, ServiceLevel, ViewId
-from ..obs import Observability
+from ..obs import Observability, action_trace_id
+from ..obs.flight import TXN_TRACE_BIT
+from ..obs.spans import STALENESS_STRIDE
+
+# Power-of-two stride lets the sampling test be a single AND.
+_STALENESS_MASK = STALENESS_STRIDE - 1
 from ..sim import Tracer
 from ..storage import StableStore
 from .action_queue import ActionQueue
@@ -167,6 +173,23 @@ class ReplicationEngine:
         # None when observability is off: the hot paths pay a None
         # check, not a call.
         self._spans = self.obs.tracker(server_id)
+        # Distributed tracing (None when off, same None-check pattern):
+        # the flight recorder keeps a bounded ring of submit/send/recv/
+        # red/green events under each action's deterministic trace id.
+        # The hot paths append (t, kind, trace, detail) tuples through
+        # the cached bound method — the ring deque's identity is stable
+        # across FlightRecorder.clear(), so the cache never goes stale.
+        self._flight = self.obs.flight(server_id)
+        self._flight_append = (self._flight.ring.append
+                               if self._flight is not None else None)
+        # Staleness probe (opt-in): remote greens measure originator
+        # submit → local green lag from the timestamp in action meta,
+        # sampled one green in every STALENESS_STRIDE (see spans.py).
+        self._staleness = False
+        self._staleness_tick = 0
+        if self.obs.staleness and self._spans is not None:
+            self._staleness = True
+            self._spans.enable_staleness()
 
         self.state = EngineState.NON_PRIM
         self.queue = ActionQueue(server_ids)
@@ -281,7 +304,19 @@ class ReplicationEngine:
     # ------------------------------------------------------------------
     def _create_action(self, update: Optional[Tuple], query: Optional[Tuple],
                        client: Any, meta: dict) -> Action:
-        return Action(action_id=self.next_action_id(),
+        action_id = self.next_action_id()
+        rec = self._flight_append
+        if rec is not None:
+            # Trace context: deterministic id (pre-assigned ids — e.g.
+            # a transaction's — win), recorded at the submit instant.
+            trace = meta.get("trace")
+            if trace is None:
+                trace = meta["trace"] = action_trace_id(
+                    self.server_id, action_id.index)
+            rec((self.sim.now, "submit", trace, None))
+        if self._staleness and "ts" not in meta:
+            meta["ts"] = self.sim.now
+        return Action(action_id=action_id,
                       green_line=None, client=client, query=query,
                       update=update, meta=meta,
                       size=self.config.action_size)
@@ -303,11 +338,18 @@ class ReplicationEngine:
     def _generate(self, actions: List[Action], generation: int) -> None:
         if self.exited:
             return
+        rec = self._flight_append
         for action in actions:
             msg = EngineActionMsg(action=action,
                                   green_line=self.queue.green_count)
-            self.channel.multicast(msg, ServiceLevel.SAFE,
-                                   size=action.size)
+            if rec is None:
+                self.channel.multicast(msg, ServiceLevel.SAFE,
+                                       size=action.size)
+            else:
+                trace = action.meta.get("trace", 0)
+                rec((self.sim.now, "send", trace, None))
+                self.channel.multicast(msg, ServiceLevel.SAFE,
+                                       size=action.size, trace=trace)
 
     def _handle_buffered(self) -> None:
         """Handle_buff_requests (A.8): batch-journal, one sync, send."""
@@ -387,6 +429,10 @@ class ReplicationEngine:
         if self.exited:
             return
         if isinstance(payload, EngineActionMsg):
+            rec = self._flight_append
+            if rec is not None and origin != self.server_id:
+                rec((self.sim.now, "recv",
+                     payload.action.meta.get("trace", 0), origin))
             self._on_action(payload, origin)
         elif isinstance(payload, EngineStateMsg):
             self._on_state_msg(payload)
@@ -415,6 +461,9 @@ class ReplicationEngine:
 
     def _note_red(self, action: Action, greening: bool = False) -> None:
         self._c_reds.inc()
+        rec = self._flight_append
+        if rec is not None and not greening:
+            rec((self.sim.now, "red", action.meta.get("trace", 0), None))
         if self._spans is not None and not greening:
             # ``greening``: the caller marks this action green at this
             # same instant, and the green hook records a zero-gap span
@@ -451,6 +500,8 @@ class ReplicationEngine:
         position = self.queue.green_count - 1
         self.queue.set_green_line(self.server_id, self.queue.green_count)
         self._c_greens.inc()
+        meta = action.meta
+        now = self.sim.now
         spans = self._spans
         if spans is not None:
             if fresh_red and action.server_id != self.server_id:
@@ -458,7 +509,35 @@ class ReplicationEngine:
                 # this same instant, nothing to time — batch the count.
                 spans.instant_greens += 1
             else:
-                spans.on_green(action.action_id, self.sim.now)
+                spans.on_green(action.action_id, now)
+            if self._staleness and action.server_id != self.server_id:
+                tick = self._staleness_tick
+                self._staleness_tick = tick + 1
+                # Probe one remote green in every STALENESS_STRIDE
+                # (deterministic; tick 0 samples, so even tiny runs
+                # populate the histogram).
+                if not tick & _STALENESS_MASK:
+                    submitted = meta.get("ts")
+                    if submitted is not None:
+                        # Inlined SpanTracker.on_remote_green (same
+                        # reasoning as on_green's inlined observe).
+                        lag = now - submitted
+                        spans.green_lag = lag
+                        hist = spans.staleness_hist
+                        hist.counts[bisect_left(hist.bounds, lag)] += 1
+                        hist.sum += lag
+                        hist.count += 1
+        rec = self._flight_append
+        if rec is not None:
+            trace = meta.get("trace", 0)
+            if trace < TXN_TRACE_BIT:
+                # Plain action: the detail is the bare green position
+                # (no tuple on the steady-state path).
+                rec((now, "green", trace, position))
+            else:
+                phase = meta.get("phase")
+                rec((now, "green", trace,
+                     position if phase is None else (position, phase)))
 
         if (action.type is ActionType.PERSISTENT_JOIN
                 and action.join_id is not None

@@ -34,12 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class ChanData:
-    """A sequenced channel payload."""
+    """A sequenced channel payload.
+
+    ``trace`` carries the distributed-tracing context of the payload
+    (0 = untraced); it survives go-back-N retransmission and is packed
+    into the binary wire frame alongside the sequence number.
+    """
 
     src: int
     seq: int
     payload: Any
     size: int
+    trace: int = 0
 
 
 @dataclass(frozen=True)
@@ -59,7 +65,7 @@ class _PeerState:
     def __init__(self) -> None:
         self.next_out = 0
         self.acked = 0
-        self.outstanding: Dict[int, Tuple[Any, int]] = {}
+        self.outstanding: Dict[int, Tuple[Any, int, int]] = {}
         self.next_in = 0
         self.buffer: Dict[int, Tuple[Any, int]] = {}
         # Payloads received since the last ChanAck went out (ack
@@ -157,30 +163,32 @@ class ReliableChannelEndpoint(Actor):
         else:
             self.network.send(self.node, peer, payload, size)
 
-    def send(self, peer: int, payload: Any, size: int = 200) -> None:
+    def send(self, peer: int, payload: Any, size: int = 200,
+             trace: int = 0) -> None:
         """Queue ``payload`` for reliable in-order delivery to ``peer``."""
         if not self._running:
             return
         state = self._peer(peer)
         seq = state.next_out
         state.next_out += 1
-        state.outstanding[seq] = (payload, size)
+        state.outstanding[seq] = (payload, size, trace)
         self.sends += 1
         if state.acks_owed:
             # Piggyback the owed cumulative ack on this reverse
             # traffic: through the batcher both ride one frame.
             self._emit_ack(peer, state)
-        self._transmit(peer, ChanData(self.node, seq, payload, size),
+        self._transmit(peer,
+                       ChanData(self.node, seq, payload, size, trace),
                        size)
 
     def _retransmit(self) -> None:
         for peer, state in self._peers.items():
             for seq in sorted(state.outstanding):
-                payload, size = state.outstanding[seq]
+                payload, size, trace = state.outstanding[seq]
                 self.retransmits += 1
-                self._transmit(peer,
-                               ChanData(self.node, seq, payload, size),
-                               size)
+                self._transmit(
+                    peer, ChanData(self.node, seq, payload, size, trace),
+                    size)
 
     # ------------------------------------------------------------------
     # receiving

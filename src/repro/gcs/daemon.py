@@ -127,7 +127,7 @@ class GcsDaemon(Actor):
         self._sent_done = False
 
         # buffered application sends while membership is in progress
-        self._outbox: List[Tuple[Any, ServiceLevel, int]] = []
+        self._outbox: List[Tuple[Any, ServiceLevel, int, int]] = []
 
         self._last_heard: Dict[int, float] = {}
         self._known_joined: Set[int] = set()
@@ -268,18 +268,22 @@ class GcsDaemon(Actor):
     # ==================================================================
     def multicast(self, payload: Any,
                   service: ServiceLevel = ServiceLevel.SAFE,
-                  size: int = 200) -> None:
+                  size: int = 200, trace: int = 0) -> None:
         """Multicast ``payload`` to the current group with ``service``
         guarantees.  While a membership change is in progress the send
-        is buffered and re-issued in the next regular configuration."""
+        is buffered and re-issued in the next regular configuration.
+        ``trace`` is the payload's distributed-tracing context (0 =
+        untraced); it rides the wire frame and survives buffering,
+        retransmission, and next-view resubmission."""
         if not self.joined:
             raise RuntimeError(f"node {self.node} is not a group member")
         if self.state != DaemonState.OPERATIONAL or self.ordering is None:
-            self._outbox.append((payload, service, size))
+            self._outbox.append((payload, service, size, trace))
             return
         ordering = self.ordering
         msg = DataMsg(ordering.view_id, self.node, ordering.fifo_out,
-                      payload, service, size + self.settings.header_size)
+                      payload, service, size + self.settings.header_size,
+                      trace)
         ordering.fifo_out += 1
         self.messages_multicast += 1
         ordering.add_data(msg)
@@ -486,6 +490,8 @@ class GcsDaemon(Actor):
             self._net_send(msg.node,
                            RetransDataMsg(msg.view_id, tuple(items)),
                            size)
+            self.tracer.emit(self.sim.now, self.node, "gcs.retrans",
+                             to=msg.node, count=len(items))
         if msg.want_stamps_from >= 0:
             stamps = tuple(
                 (s, k[0], k[1])
@@ -856,6 +862,8 @@ class GcsDaemon(Actor):
             return
         size = sum(item[5] for item in items)
         retrans = RetransDataMsg(msg.old_view_id, tuple(items))
+        self.tracer.emit(self.sim.now, self.node, "gcs.retrans",
+                         to=msg.to_node, count=len(items))
         if msg.to_node == self.node:
             self._on_retrans(retrans)
         else:
@@ -990,9 +998,10 @@ class GcsDaemon(Actor):
         outbox, self._outbox = self._outbox, []
         for data in resubmit:
             self.multicast(data.payload, data.service,
-                           data.size - self.settings.header_size)
-        for payload, service, size in outbox:
-            self.multicast(payload, service, size)
+                           data.size - self.settings.header_size,
+                           data.trace)
+        for payload, service, size, trace in outbox:
+            self.multicast(payload, service, size, trace)
 
     # ==================================================================
     # misc

@@ -44,8 +44,8 @@ class GroupChannel(GcsListener):
     # -- messaging --------------------------------------------------------
     def multicast(self, payload: Any,
                   service: ServiceLevel = ServiceLevel.SAFE,
-                  size: int = 200) -> None:
-        self.daemon.multicast(payload, service, size)
+                  size: int = 200, trace: int = 0) -> None:
+        self.daemon.multicast(payload, service, size, trace)
 
     # -- GcsListener ------------------------------------------------------
     def on_regular_conf(self, conf: Configuration) -> None:

@@ -290,7 +290,11 @@ class ViewOrdering:
         return any(key not in self.stamp_of for key in self.data)
 
     def retrans_items(self, seqs: List[int]) -> List[Tuple]:
-        """Build retransmission payloads for stamped seqs we hold."""
+        """Build retransmission payloads for stamped seqs we hold.
+
+        Items carry the trace context so a message recovered via NACK
+        keeps its causal identity at the receiver.
+        """
         items: List[Tuple] = []
         for s in seqs:
             key = self.key_at.get(s)
@@ -298,18 +302,18 @@ class ViewOrdering:
                 continue
             msg = self.data[key]
             items.append((s, msg.origin, msg.fifo_seq, msg.payload,
-                          msg.service, msg.size))
+                          msg.service, msg.size, msg.trace))
         return items
 
     def accept_retrans(self, items: Tuple[Tuple, ...]) -> None:
-        for seq, origin, fifo_seq, payload, service, size in items:
+        for seq, origin, fifo_seq, payload, service, size, trace in items:
             if seq < self.pruned_below:
                 continue
             self._record_stamp(seq, (origin, fifo_seq))
             key = (origin, fifo_seq)
             if key not in self.data:
                 self.data[key] = DataMsg(self.view_id, origin, fifo_seq,
-                                         payload, service, size)
+                                         payload, service, size, trace)
             if self.key_at.get(seq) in self.data:
                 self._missing.discard(seq)
         self._advance_ack()

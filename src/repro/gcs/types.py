@@ -114,7 +114,16 @@ class GcsSettings:
 
 @dataclass(frozen=True)
 class DataMsg:
-    """Application payload multicast by its origin within a view."""
+    """Application payload multicast by its origin within a view.
+
+    ``trace`` is the distributed-tracing context: a deterministic
+    64-bit id assigned at submission (0 = untraced) that rides the
+    message — including retransmissions and next-view resubmission —
+    so per-node flight-recorder events can be joined into one causal
+    timeline by ``repro-trace``.  It is mirrored into the binary wire
+    frame (:mod:`repro.net.codec`, wire version 2) rather than buried
+    in the pickled payload.
+    """
 
     view_id: ViewId
     origin: int
@@ -122,6 +131,7 @@ class DataMsg:
     payload: object
     service: ServiceLevel
     size: int
+    trace: int = 0
 
 
 @dataclass(frozen=True)

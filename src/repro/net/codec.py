@@ -9,7 +9,8 @@ body    := struct-packed fields of the hot message types; nested
            application payloads recurse into another *item*
 
 Hot GCS/channel message types get dedicated encoders (a DataMsg header
-packs to 22 bytes vs ~200 for its pickle); everything else — engine
+packs to 30 bytes — including the trace-context id — vs ~200 for its
+pickle); everything else — engine
 messages, snapshot chunks, arbitrary application payloads — falls back
 to the :data:`TAG_PICKLE` escape hatch, so the codec never constrains
 what the protocol can carry.  A :class:`Batch` encodes its entries
@@ -46,7 +47,11 @@ class CodecError(ValueError):
 
 
 MAGIC = 0xC3
-VERSION = 1
+# Version 2: DataMsg, ChanData, and retransmission items carry a
+# signed 64-bit trace-context field (0 = untraced).  Version-1 frames
+# are rejected with :class:`CodecError` — mixed-version deployments
+# would silently strip causal identity from half the traffic.
+VERSION = 2
 
 TAG_PICKLE = 0
 TAG_BATCH = 1
@@ -63,7 +68,8 @@ TAG_CHANACK = 10
 _HEADER = struct.Struct("!BBi")          # magic, version, src
 _ITEM = struct.Struct("!BI")             # tag, body length
 _COUNT = struct.Struct("!I")
-_DATA = struct.Struct("!iiiqBi")         # view, origin, fifo, svc, size
+_DATA = struct.Struct("!iiiqBiq")        # view, origin, fifo, svc, size,
+                                         # trace
 _STAMP_ENTRY = struct.Struct("!qiq")     # seq, origin, fifo_seq
 _VIEW_COUNT = struct.Struct("!iiI")      # view + entry count
 _ACK = struct.Struct("!iiiq")            # view, node, ack_seq
@@ -73,8 +79,9 @@ _SEQ = struct.Struct("!q")
 _TOKEN = struct.Struct("!iiqI")          # view, next_seq, ack count
 _TOKEN_ACK = struct.Struct("!iq")        # member, ack_seq
 _NACK = struct.Struct("!iiiqI")          # view, node, want, missing count
-_RETRANS_ITEM = struct.Struct("!qiqBi")  # seq, origin, fifo, svc, size
-_CHANDATA = struct.Struct("!iqi")        # src, seq, size
+_RETRANS_ITEM = struct.Struct("!qiqBiq")  # seq, origin, fifo, svc,
+                                          # size, trace
+_CHANDATA = struct.Struct("!iqiq")       # src, seq, size, trace
 _CHANACK = struct.Struct("!iq")          # src, ack_seq
 _SIZE = struct.Struct("!i")
 
@@ -93,7 +100,7 @@ def _enc_view(view_id: ViewId) -> bytes:
 def _enc_data(msg: DataMsg) -> bytes:
     return (_DATA.pack(msg.view_id.epoch, msg.view_id.coordinator,
                        msg.origin, msg.fifo_seq,
-                       _SERVICE_INDEX[msg.service], msg.size)
+                       _SERVICE_INDEX[msg.service], msg.size, msg.trace)
             + encode_payload(msg.payload))
 
 
@@ -135,15 +142,16 @@ def _enc_nack(msg: NackMsg) -> bytes:
 def _enc_retrans(msg: RetransDataMsg) -> bytes:
     parts = [_VIEW_COUNT.pack(msg.view_id.epoch, msg.view_id.coordinator,
                               len(msg.items))]
-    for seq, origin, fifo_seq, payload, service, size in msg.items:
+    for seq, origin, fifo_seq, payload, service, size, trace in msg.items:
         parts.append(_RETRANS_ITEM.pack(seq, origin, fifo_seq,
-                                        _SERVICE_INDEX[service], size))
+                                        _SERVICE_INDEX[service], size,
+                                        trace))
         parts.append(encode_payload(payload))
     return b"".join(parts)
 
 
 def _enc_chandata(msg: ChanData) -> bytes:
-    return (_CHANDATA.pack(msg.src, msg.seq, msg.size)
+    return (_CHANDATA.pack(msg.src, msg.seq, msg.size, msg.trace)
             + encode_payload(msg.payload))
 
 
@@ -182,9 +190,10 @@ def encode_payload(obj: Any) -> bytes:
         try:
             body = encoder(obj)
             return _ITEM.pack(tag, len(body)) + body
-        except (struct.error, OverflowError, KeyError, TypeError):
-            # A field out of the packed range (or an exotic subtype):
-            # the escape hatch below carries it.
+        except (struct.error, OverflowError, KeyError, TypeError,
+                ValueError):
+            # A field out of the packed range, an exotic subtype, or an
+            # unexpected item shape: the escape hatch below carries it.
             pass
     body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     return _ITEM.pack(TAG_PICKLE, len(body)) + body
@@ -219,12 +228,13 @@ def _dec_pickle(body: bytes) -> Any:
 
 def _dec_data(body: bytes) -> DataMsg:
     _need(body, 0, _DATA.size)
-    epoch, coord, origin, fifo_seq, svc, size = _DATA.unpack_from(body, 0)
+    epoch, coord, origin, fifo_seq, svc, size, trace = \
+        _DATA.unpack_from(body, 0)
     payload, end = _decode_item(body, _DATA.size)
     if end != len(body):
         raise CodecError("trailing bytes in DataMsg body")
     return DataMsg(ViewId(epoch, coord), origin, fifo_seq, payload,
-                   _service(svc), size)
+                   _service(svc), size, trace)
 
 
 def _dec_stamp(body: bytes) -> StampMsg:
@@ -294,10 +304,11 @@ def _dec_retrans(body: bytes) -> RetransDataMsg:
     items: List[Tuple] = []
     for _ in range(count):
         _need(body, offset, _RETRANS_ITEM.size)
-        seq, origin, fifo_seq, svc, size = \
+        seq, origin, fifo_seq, svc, size, trace = \
             _RETRANS_ITEM.unpack_from(body, offset)
         payload, offset = _decode_item(body, offset + _RETRANS_ITEM.size)
-        items.append((seq, origin, fifo_seq, payload, _service(svc), size))
+        items.append((seq, origin, fifo_seq, payload, _service(svc),
+                      size, trace))
     if offset != len(body):
         raise CodecError("trailing bytes in RetransDataMsg body")
     return RetransDataMsg(ViewId(epoch, coord), tuple(items))
@@ -305,11 +316,11 @@ def _dec_retrans(body: bytes) -> RetransDataMsg:
 
 def _dec_chandata(body: bytes) -> ChanData:
     _need(body, 0, _CHANDATA.size)
-    src, seq, size = _CHANDATA.unpack_from(body, 0)
+    src, seq, size, trace = _CHANDATA.unpack_from(body, 0)
     payload, end = _decode_item(body, _CHANDATA.size)
     if end != len(body):
         raise CodecError("trailing bytes in ChanData body")
-    return ChanData(src, seq, payload, size)
+    return ChanData(src, seq, payload, size, trace)
 
 
 def _dec_chanack(body: bytes) -> ChanAck:

@@ -25,26 +25,65 @@ from typing import Any, Dict, Optional
 
 from .export import (MetricsServer, fetch_http, lint_prometheus,
                      prometheus_text, snapshot_json)
+from .flight import (FlightHub, FlightRecorder, action_trace_id,
+                     txn_trace_id)
 from .metrics import (LATENCY_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, ShardScopedRegistry, percentile)
-from .spans import ActionSpan, MembershipSpan, SpanTracker
+from .spans import ActionSpan, MembershipSpan, SpanTracker, TxnSpans
 
 
 class Observability:
-    """Per-deployment bundle: registry + per-node span trackers."""
+    """Per-deployment bundle: registry + per-node span trackers.
+
+    ``flight=True`` additionally turns on distributed tracing: every
+    submitted action gets a deterministic trace id, a per-node
+    :class:`~repro.obs.flight.FlightRecorder` keeps a bounded ring of
+    protocol events, and cross-shard transaction phases are recorded
+    under the transaction's trace id.  ``staleness=True`` (implies
+    span tracking) lets replicas measure how far their green prefix
+    lags the originator's submission time (see
+    :meth:`~repro.obs.spans.SpanTracker.on_remote_green`).  Both are
+    off by default so the hot paths stay a ``None``-check.
+    """
 
     def __init__(self, enabled: bool = True,
                  registry: Optional[MetricsRegistry] = None,
-                 max_completed_spans: int = 100_000):
+                 max_completed_spans: int = 100_000,
+                 flight: bool = False,
+                 flight_capacity: int = 8192,
+                 staleness: bool = False):
         self.enabled = enabled
         self.registry = registry if registry is not None \
             else MetricsRegistry(enabled=enabled)
         self.max_completed_spans = max_completed_spans
         self.trackers: Dict[Any, SpanTracker] = {}
+        self.staleness = staleness and enabled
+        self.flight_hub: Optional[FlightHub] = \
+            FlightHub(flight_capacity) if flight else None
+        self._txn_spans: Optional[TxnSpans] = None
+        # Deployment-wide state (txn spans) lives on the root bundle;
+        # shard-scoped views delegate to it.
+        self._root: "Observability" = self
 
     @classmethod
     def disabled(cls) -> "Observability":
         return cls(enabled=False)
+
+    def flight(self, node: Any) -> Optional[FlightRecorder]:
+        """The flight recorder for ``node`` (None when tracing is off:
+        hot paths keep a None-check instead of paying a call)."""
+        hub = self.flight_hub
+        return hub.recorder(node) if hub is not None else None
+
+    def txn_spans(self) -> Optional[TxnSpans]:
+        """The deployment-wide transaction span tracker (None when
+        disabled)."""
+        root = self._root
+        if not root.enabled:
+            return None
+        if root._txn_spans is None:
+            root._txn_spans = TxnSpans(root.registry)
+        return root._txn_spans
 
     def tracker(self, node: Any) -> Optional[SpanTracker]:
         """The span tracker for ``node`` (None when disabled: callers
@@ -76,6 +115,10 @@ class Observability:
         scoped.registry = ShardScopedRegistry(self.registry, shard)
         scoped.max_completed_spans = self.max_completed_spans
         scoped.trackers = self.trackers
+        scoped.staleness = self.staleness
+        scoped.flight_hub = self.flight_hub
+        scoped._txn_spans = None
+        scoped._root = self._root
         return scoped
 
     def prometheus(self) -> str:
@@ -88,6 +131,8 @@ class Observability:
 __all__ = [
     "ActionSpan",
     "Counter",
+    "FlightHub",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
@@ -97,9 +142,12 @@ __all__ = [
     "Observability",
     "ShardScopedRegistry",
     "SpanTracker",
+    "TxnSpans",
+    "action_trace_id",
     "fetch_http",
     "lint_prometheus",
     "percentile",
     "prometheus_text",
     "snapshot_json",
+    "txn_trace_id",
 ]

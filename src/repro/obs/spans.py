@@ -41,6 +41,14 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
 
+#: Staleness probe sampling stride (a power of two): the engine feeds
+#: one remote green in every ``STALENESS_STRIDE`` to
+#: :meth:`SpanTracker.on_remote_green`'s histogram path.  Replica lag
+#: is a statistical measure — percentiles over a 1-in-8 deterministic
+#: sample match the full stream — and sampling keeps the probe's cost
+#: on the ordering hot path to a counter increment.
+STALENESS_STRIDE = 8
+
 
 class ActionSpan:
     """One action's lifecycle at one node."""
@@ -106,12 +114,14 @@ class SpanTracker:
                  "_h_membership", "_h_vulnerable", "_red_at",
                  "_submit_at", "instant_greens", "completed",
                  "membership_open", "membership_completed",
-                 "vulnerable_open", "vulnerable_completed")
+                 "vulnerable_open", "vulnerable_completed",
+                 "_registry", "staleness_hist", "green_lag")
 
     def __init__(self, registry: MetricsRegistry, node: Any,
                  max_completed: int = 100_000):
         label = str(node)
         self.node = node
+        self._registry = registry
         self._h_red_green = registry.histogram(
             "repro_action_red_to_green_seconds",
             "Latency from local (red) order to global (green) order.",
@@ -143,6 +153,11 @@ class SpanTracker:
         self.vulnerable_open: Optional[float] = None
         self.vulnerable_completed: Deque[Tuple[float, float]] = \
             deque(maxlen=max_completed)
+        # Staleness probe (opt-in, see :meth:`enable_staleness`): the
+        # histogram is created lazily so deployments that never measure
+        # replica lag pay nothing, not even an empty instrument.
+        self.staleness_hist: Optional[Any] = None
+        self.green_lag = 0.0
 
     # ------------------------------------------------------------------
     # action lifecycle
@@ -241,6 +256,56 @@ class SpanTracker:
             self.vulnerable_open = None
 
     # ------------------------------------------------------------------
+    # staleness probe (opt-in)
+    # ------------------------------------------------------------------
+    def enable_staleness(self) -> None:
+        """Register the staleness instruments for this node.
+
+        Staleness is the replica-lag measure ROADMAP item 2 asks for:
+        for a green action that originated *elsewhere*, the gap
+        between the originator's submit instant (carried in the
+        action's metadata) and the moment this replica ordered it
+        green.  A current-lag gauge and a whole-run histogram are
+        registered; both read plain attributes updated by
+        :meth:`on_remote_green`.  The engine *samples* the probe —
+        one remote green in every :data:`STALENESS_STRIDE` — so lag
+        percentiles stay statistically faithful while the hot path
+        pays only a counter increment on the unsampled greens."""
+        if self.staleness_hist is not None:
+            return
+        label = str(self.node)
+        self.staleness_hist = self._registry.histogram(
+            "repro_staleness_seconds",
+            "Originator submit to local green order, for actions "
+            "originated at other replicas (replica lag).",
+            labelnames=("server",)).labels(label)
+        self._registry.gauge_callback(
+            "repro_green_lag_seconds", lambda: self.green_lag,
+            "Staleness of the most recent remotely-originated green "
+            "action at this replica.", ("server",), (label,))
+
+    def on_remote_green(self, submitted: float, now: float) -> None:
+        """A green action originated at another replica: observe the
+        submit→local-green lag.  Only called when staleness probing is
+        enabled (the engine keeps a None-check on the hot path)."""
+        lag = now - submitted
+        self.green_lag = lag
+        histogram = self.staleness_hist
+        # Inlined Histogram.observe, same reasoning as on_green.
+        histogram.counts[bisect_left(histogram.bounds, lag)] += 1
+        histogram.sum += lag
+        histogram.count += 1
+
+    def staleness_percentiles(self, qs: Tuple[float, ...] =
+                              (0.50, 0.95, 0.99)) -> Optional[List[float]]:
+        """Replica-lag percentiles, or None when the probe is off or
+        saw no remote greens."""
+        histogram = self.staleness_hist
+        if histogram is None or not histogram.count:
+            return None
+        return [histogram.quantile(q) for q in qs]
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def latency_percentiles(self, which: str = "red_to_green",
@@ -263,3 +328,87 @@ class SpanTracker:
         return (f"<SpanTracker node={self.node} "
                 f"open={len(self._red_at) + len(self._submit_at)} "
                 f"completed={len(self.completed)}>")
+
+
+class TxnSpan:
+    """One cross-shard transaction's lifecycle at the coordinator."""
+
+    __slots__ = ("txn_id", "shards", "began", "phases", "ended",
+                 "outcome")
+
+    def __init__(self, txn_id: str, shards: Tuple[int, ...],
+                 began: float):
+        self.txn_id = txn_id
+        self.shards = shards
+        self.began = began
+        #: (phase, shard, time) checkpoints: prepare/decide/finish acks
+        #: as their green records land in each participant's order.
+        self.phases: List[Tuple[str, int, float]] = []
+        self.ended: Optional[float] = None
+        self.outcome: Optional[str] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended is None:
+            return None
+        return self.ended - self.began
+
+
+class TxnSpans:
+    """Deployment-wide cross-shard transaction spans.
+
+    One instance per :class:`~repro.obs.Observability` bundle (the
+    coordinator is not a replica, so these are not per-node).  Each
+    transaction records its begin instant, per-shard phase checkpoints
+    (``prepare``/``decide``/``finish`` greens as the coordinator learns
+    of them), and its outcome; latencies feed shard-labeled histograms
+    so ``obsreport`` can print a txn-latency percentile table per
+    participant-set shape.
+    """
+
+    __slots__ = ("_registry", "_open", "completed", "_families")
+
+    def __init__(self, registry: MetricsRegistry,
+                 max_completed: int = 100_000):
+        self._registry = registry
+        self._open: Dict[str, TxnSpan] = {}
+        self.completed: Deque[TxnSpan] = deque(maxlen=max_completed)
+        # One histogram child per (shard-set, outcome) observed.
+        self._families = registry.histogram(
+            "repro_txn_latency_seconds",
+            "Cross-shard transaction begin to outcome, labeled by the "
+            "participant shard set.", labelnames=("shards", "outcome"))
+
+    def on_begin(self, txn_id: str, shards: Tuple[int, ...],
+                 now: float) -> None:
+        self._open[txn_id] = TxnSpan(txn_id, tuple(shards), now)
+
+    def on_phase(self, txn_id: str, phase: str, shard: int,
+                 now: float) -> None:
+        span = self._open.get(txn_id)
+        if span is not None:
+            span.phases.append((phase, shard, now))
+
+    def on_done(self, txn_id: str, outcome: str, now: float) -> None:
+        span = self._open.pop(txn_id, None)
+        if span is None:
+            return
+        span.ended = now
+        span.outcome = outcome
+        label = "+".join(str(s) for s in span.shards)
+        self._families.labels(label, outcome).observe(now - span.began)
+        self.completed.append(span)
+
+    def latency_percentiles(self, qs: Tuple[float, ...] =
+                            (0.50, 0.95, 0.99)
+                            ) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Per (shard-set, outcome) child: observation count plus
+        latency percentiles, for reports."""
+        out: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for labels, child in sorted(self._families.children.items()):
+            if child.count:
+                entry: Dict[str, float] = {"count": float(child.count)}
+                for q in qs:
+                    entry[f"p{int(q * 100)}"] = child.quantile(q)
+                out[labels] = entry
+        return out

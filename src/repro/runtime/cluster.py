@@ -100,6 +100,9 @@ class LiveCluster:
         # second is tiny next to real I/O.
         self.obs = (observability if observability is not None
                     else Observability())
+        # With tracing on, mirror tracer records into the flight rings.
+        if self.obs.flight_hub is not None:
+            self.obs.flight_hub.attach(self.tracer)
         self._metrics_server: Optional[MetricsServer] = None
         self.directory: Set[int] = set(self.server_ids)
         self.gcs_settings = gcs_settings or live_gcs_settings()

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
                     Tuple)
 
+from ..obs.flight import txn_trace_id
 from ..sim import Tracer
 from .router import KeyRangeRouter
 from .txn import (ABORT, COMMIT, decide_update, finish_update,
@@ -33,10 +34,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Observability
     from ..runtime.base import Handle, Runtime
 
-#: ``submit(shard, update, on_complete) -> action id`` — provided by the
-#: fabric; ``on_complete`` fires when the update goes green at the
-#: submitting replica, with ``(action, position, result)``.
-SubmitFn = Callable[[int, Any, Optional[Callable[..., None]]], Any]
+#: ``submit(shard, update, on_complete, meta) -> action id`` — provided
+#: by the fabric; ``on_complete`` fires when the update goes green at
+#: the submitting replica, with ``(action, position, result)``.
+#: ``meta`` rides the action so all of a transaction's records carry
+#: the same trace id (and their protocol phase) end to end.
+SubmitFn = Callable[[int, Any, Optional[Callable[..., None]],
+                     Optional[Dict[str, Any]]], Any]
 
 DoneFn = Callable[[str, str], None]
 
@@ -52,12 +56,13 @@ def _call_result(result: Any) -> Any:
 class _Txn:
     """In-flight coordinator bookkeeping for one transaction."""
 
-    __slots__ = ("txn_id", "participants", "decider", "on_done",
+    __slots__ = ("txn_id", "trace", "participants", "decider", "on_done",
                  "prepared", "finished", "decision", "phase", "timer")
 
     def __init__(self, txn_id: str, participants: List[int],
                  decider: int, on_done: Optional[DoneFn]):
         self.txn_id = txn_id
+        self.trace = txn_trace_id(txn_id)
         self.participants = participants
         self.decider = decider
         self.on_done = on_done
@@ -99,6 +104,12 @@ class TxnCoordinator:
         self.aborts = 0
         self.local_txns = 0
         self.recovered = 0
+
+        #: Coordinator-side tracing: a flight recorder keyed by the
+        #: coordinator's name plus deployment-wide txn spans; both are
+        #: None-checks on the commit path when observability is off.
+        self._flight = obs.flight(name) if obs is not None else None
+        self._txn_spans = obs.txn_spans() if obs is not None else None
 
         self._c_outcomes = None
         if obs is not None and obs.enabled:
@@ -161,7 +172,8 @@ class TxnCoordinator:
                 if on_done is not None:
                     on_done(txn_id, COMMIT)
 
-            self._submit(shard, fragments[shard], local_done)
+            self._submit(shard, fragments[shard], local_done,
+                         {"trace": txn_trace_id(txn_id)})
             return txn_id
 
         decider = shards[0]
@@ -171,11 +183,16 @@ class TxnCoordinator:
                                           self._on_timeout, txn_id)
         self.tracer.emit(self.runtime.now, self.home or 0, "txn.begin",
                          txn=txn_id, shards=tuple(shards))
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.begin", txn.trace,
+                                tuple(shards))
+        if self._txn_spans is not None:
+            self._txn_spans.on_begin(txn_id, shards, self.runtime.now)
         for shard in shards:
             record = prepare_update(txn_id, fragments[shard], shards,
                                     decider)
-            self._submit(shard, record,
-                         self._prepare_cb(txn_id, shard))
+            self._submit(shard, record, self._prepare_cb(txn_id, shard),
+                         {"trace": txn.trace, "phase": "prepare"})
         return txn_id
 
     def _prepare_cb(self, txn_id: str,
@@ -194,6 +211,12 @@ class TxnCoordinator:
             self._decide(txn, ABORT)
             return
         txn.prepared.add(shard)
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.prepared",
+                                txn.trace, (shard,))
+        if self._txn_spans is not None:
+            self._txn_spans.on_phase(txn_id, "prepare", shard,
+                                     self.runtime.now)
         if len(txn.prepared) == len(txn.participants):
             self._decide(txn, COMMIT)
 
@@ -204,6 +227,9 @@ class TxnCoordinator:
         self.tracer.emit(self.runtime.now, self.home or 0, "txn.timeout",
                          txn=txn_id,
                          prepared=tuple(sorted(txn.prepared)))
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.timeout",
+                                txn.trace, tuple(sorted(txn.prepared)))
         self._decide(txn, ABORT)
 
     def _decide(self, txn: _Txn, wanted: str) -> None:
@@ -211,6 +237,9 @@ class TxnCoordinator:
         if txn.timer is not None:
             txn.timer.cancel()
             txn.timer = None
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.decide",
+                                txn.trace, (wanted,))
 
         def on_decided(_action: Any, _pos: int, result: Any) -> None:
             winner = _call_result(result)
@@ -218,7 +247,7 @@ class TxnCoordinator:
                              winner if winner in (COMMIT, ABORT) else ABORT)
 
         self._submit(txn.decider, decide_update(txn.txn_id, wanted),
-                     on_decided)
+                     on_decided, {"trace": txn.trace, "phase": "decide"})
 
     def _on_decided(self, txn_id: str, winner: str) -> None:
         txn = self._txns.get(txn_id)
@@ -226,6 +255,9 @@ class TxnCoordinator:
             return
         txn.decision = winner
         txn.phase = "finish"
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.decided",
+                                txn.trace, (winner,))
         if self.fail_before_finish:
             # Injected crash in the decide→finish window; the decision
             # is green at the decider, no participant has heard it.
@@ -233,7 +265,8 @@ class TxnCoordinator:
             return
         for shard in txn.participants:
             self._submit(shard, finish_update(txn_id, winner),
-                         self._finish_cb(txn_id, shard))
+                         self._finish_cb(txn_id, shard),
+                         {"trace": txn.trace, "phase": "finish"})
 
     def _finish_cb(self, txn_id: str, shard: int) -> Callable[..., None]:
         def on_green(_action: Any, _pos: int, _result: Any) -> None:
@@ -245,6 +278,12 @@ class TxnCoordinator:
         if not self.alive or txn is None or txn.phase != "finish":
             return
         txn.finished.add(shard)
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.finish",
+                                txn.trace, (shard,))
+        if self._txn_spans is not None:
+            self._txn_spans.on_phase(txn_id, "finish", shard,
+                                     self.runtime.now)
         if len(txn.finished) < len(txn.participants):
             return
         del self._txns[txn_id]
@@ -257,6 +296,11 @@ class TxnCoordinator:
             self._c_outcomes[outcome].inc()
         self.tracer.emit(self.runtime.now, self.home or 0, "txn.done",
                          txn=txn_id, outcome=outcome)
+        if self._flight is not None:
+            self._flight.record(self.runtime.now, "txn.done", txn.trace,
+                                (outcome,))
+        if self._txn_spans is not None:
+            self._txn_spans.on_done(txn_id, outcome, self.runtime.now)
         if txn.on_done is not None:
             txn.on_done(txn_id, outcome)
 
@@ -294,6 +338,9 @@ class TxnCoordinator:
             swept.append(txn_id)
             self.tracer.emit(self.runtime.now, self.home or 0,
                              "txn.recover", txn=txn_id)
+            if self._flight is not None:
+                self._flight.record(self.runtime.now, "txn.recover",
+                                    txn.trace)
 
             def on_decided(_action: Any, _pos: int, result: Any,
                            _txn_id: str = txn_id) -> None:
@@ -302,5 +349,6 @@ class TxnCoordinator:
                                  winner if winner in (COMMIT, ABORT)
                                  else ABORT)
 
-            self._submit(decider, decide_update(txn_id, ABORT), on_decided)
+            self._submit(decider, decide_update(txn_id, ABORT), on_decided,
+                         {"trace": txn.trace, "phase": "decide"})
         return swept

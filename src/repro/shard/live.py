@@ -115,10 +115,10 @@ class LiveShardFabric:
         raise RuntimeError(f"no running replica in shard {shard}")
 
     def _submit_to_shard(self, shard: int, update: Any,
-                         on_complete: Optional[Callable[..., None]]
-                         ) -> Any:
+                         on_complete: Optional[Callable[..., None]],
+                         meta: Optional[dict] = None) -> Any:
         return self._submit_replica(shard).submit(
-            update=update, on_complete=on_complete)
+            update=update, on_complete=on_complete, meta=meta)
 
     # ==================================================================
     # lifecycle & faults

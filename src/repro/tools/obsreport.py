@@ -121,6 +121,18 @@ def build_report(obs: Observability, *,
                                  / sync_hist["count"]
                                  if sync_hist.get("count") else 0.0),
         }
+        staleness = tracker.staleness_percentiles()
+        if staleness is not None:
+            doc["replicas"][str(node)]["staleness"] = dict(
+                zip(("p50", "p95", "p99"), staleness))
+            doc["replicas"][str(node)]["green_lag_s"] = tracker.green_lag
+    txn_spans = obs._root._txn_spans
+    if txn_spans is not None:
+        latencies = txn_spans.latency_percentiles()
+        if latencies:
+            doc["txns"] = {
+                f"{shard_set}/{outcome}": entry
+                for (shard_set, outcome), entry in latencies.items()}
     if shards:
         from ..shard.router import shard_of
         grouped: Dict[str, Any] = {}
@@ -157,6 +169,25 @@ def format_table(doc: Dict[str, Any]) -> str:
             f"{_ms(entry['membership_max_s'])}          "
             f"{entry['forced_writes']:>6}/{entry['syncs']:<6} "
             f"{_ms(entry['sync_wait_mean_s'])}")
+    if any("staleness" in e for e in doc["replicas"].values()):
+        lines.append("")
+        lines.append("server  staleness ms (p50/p95/p99)   green lag ms")
+        for node, entry in doc["replicas"].items():
+            st = entry.get("staleness")
+            if st is None:
+                continue
+            lines.append(
+                f"{node:>6}  {_ms(st['p50'])}/{_ms(st['p95'])}"
+                f"/{_ms(st['p99'])}      {_ms(entry['green_lag_s'])}")
+    if "txns" in doc:
+        lines.append("")
+        lines.append("txn shards/outcome   count   "
+                     "latency ms (p50/p95/p99)")
+        for label, entry in doc["txns"].items():
+            lines.append(
+                f"{label:>18}  {int(entry['count']):>6}   "
+                f"{_ms(entry['p50'])}/{_ms(entry['p95'])}"
+                f"/{_ms(entry['p99'])}")
     if "shards" in doc:
         lines.append("")
         lines.append("shard   replicas                actions")
@@ -201,7 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         spec = default_spec(args.replicas, args.actions, args.seed)
 
-    obs = Observability()
+    obs = Observability(staleness=True)
     run_scenario(spec, runtime=args.runtime, observability=obs)
     doc = build_report(obs, shards="shards" in spec)
     if args.json:

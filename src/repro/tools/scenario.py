@@ -118,6 +118,8 @@ class ScenarioRunner:
         self.cluster = ReplicaCluster(
             n=int(spec.get("replicas", 3)),
             seed=int(spec.get("seed", 0)),
+            trace=(observability is not None
+                   and observability.flight_hub is not None),
             observability=observability)
         self._completions = 0
 
@@ -235,6 +237,8 @@ class ShardScenarioRunner:
             num_shards=int(spec.get("shards", 2)),
             replicas_per_shard=int(spec.get("replicas", 3)),
             seed=int(spec.get("seed", 0)),
+            trace=(observability is not None
+                   and observability.flight_hub is not None),
             observability=observability)
         self._completions = 0
         self.outcomes: Dict[str, int] = {"commit": 0, "abort": 0}
@@ -480,12 +484,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="run against a shard fabric of N groups "
                              "(overrides the spec's 'shards' key)")
+    parser.add_argument("--trace-out", metavar="DIR", default=None,
+                        help="enable distributed tracing and dump the "
+                             "per-node flight recorders into DIR "
+                             "(merge with repro-trace)")
     args = parser.parse_args(argv)
     with open(args.spec, encoding="utf-8") as handle:
         spec = json.load(handle)
     if args.shards is not None:
         spec["shards"] = args.shards
-    report = run_scenario(spec, runtime=args.runtime)
+    obs = None
+    if args.trace_out is not None:
+        obs = Observability(flight=True, staleness=True)
+    report = run_scenario(spec, runtime=args.runtime, observability=obs)
+    if obs is not None:
+        from .tracecli import dump_flight
+        paths = dump_flight(obs, args.trace_out)
+        print(f"wrote {len(paths)} flight dumps to {args.trace_out}")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

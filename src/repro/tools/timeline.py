@@ -7,6 +7,12 @@ for understanding how a fault schedule played out:
     t=  0.54  1:ExchangeStates 2:ExchangeStates 3:ExchangeStates
     t=  0.56  1:RegPrim        2:RegPrim        3:RegPrim
     ...
+
+Built on the merged event-row model of :mod:`repro.tools.tracecli`:
+the same renderer works on a live :class:`~repro.sim.Tracer` (via
+:func:`~repro.tools.tracecli.rows_from_tracer`) and on flight-recorder
+JSONL dumps (via :func:`~repro.tools.tracecli.load_rows`), because
+``engine.state`` events appear identically in both streams.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..sim import TraceRecord, Tracer
+from .tracecli import Row, rows_from_tracer
 
 _ABBREV = {
     "NonPrim": "non-prim",
@@ -33,30 +40,52 @@ def state_changes(tracer: Tracer) -> List[TraceRecord]:
                   key=lambda r: (r.time, str(r.node)))
 
 
-def render_timeline(tracer: Tracer,
-                    nodes: Optional[Sequence[int]] = None,
-                    abbreviate: bool = True) -> str:
+def state_rows(rows: Sequence[Row]) -> List[Row]:
+    """The ``engine.state`` events of a merged row stream (tracer- or
+    flight-sourced) with the new state parsed out of the detail."""
+    out = []
+    for row in rows:
+        if row.get("kind") != "engine.state":
+            continue
+        new = next((str(d)[4:] for d in (row.get("detail") or [])
+                    if str(d).startswith("new=")), None)
+        if new is not None:
+            out.append(dict(row, new=new))
+    return out
+
+
+def render_timeline_rows(rows: Sequence[Row],
+                         nodes: Optional[Sequence[int]] = None,
+                         abbreviate: bool = True) -> str:
     """Render one line per state change, with a column per replica."""
-    changes = state_changes(tracer)
+    changes = state_rows(rows)
     if nodes is None:
-        nodes = sorted({r.node for r in changes})
+        nodes = sorted({r["node"] for r in changes})
     if not changes:
         return "(no engine state changes traced)"
     current: Dict[int, str] = {n: "NonPrim" for n in nodes}
     width = max(len(v) for v in _ABBREV.values()) + 1
     lines = []
-    for record in changes:
-        if record.node not in current:
-            current[record.node] = "NonPrim"
-        current[record.node] = record.detail["new"]
+    for row in changes:
+        if row["node"] not in current:
+            current[row["node"]] = "NonPrim"
+        current[row["node"]] = row["new"]
         cells = []
         for node in nodes:
             name = current.get(node, "NonPrim")
             if abbreviate:
                 name = _ABBREV.get(name, name)
             cells.append(f"{node}:{name}".ljust(width + 4))
-        lines.append(f"t={record.time:9.4f}  " + " ".join(cells).rstrip())
+        lines.append(f"t={row['t']:9.4f}  " + " ".join(cells).rstrip())
     return "\n".join(lines)
+
+
+def render_timeline(tracer: Tracer,
+                    nodes: Optional[Sequence[int]] = None,
+                    abbreviate: bool = True) -> str:
+    """Render a traced run (see :func:`render_timeline_rows`)."""
+    return render_timeline_rows(rows_from_tracer(tracer, "engine.state"),
+                                nodes, abbreviate)
 
 
 def summarize_time_in_state(tracer: Tracer, node: int,
@@ -65,13 +94,13 @@ def summarize_time_in_state(tracer: Tracer, node: int,
     totals: Dict[str, float] = {}
     last_state = "NonPrim"
     last_time = 0.0
-    for record in state_changes(tracer):
-        if record.node != node:
+    for row in state_rows(rows_from_tracer(tracer, "engine.state")):
+        if row["node"] != node:
             continue
         totals[last_state] = totals.get(last_state, 0.0) + \
-            (record.time - last_time)
-        last_state = record.detail["new"]
-        last_time = record.time
+            (row["t"] - last_time)
+        last_state = row["new"]
+        last_time = row["t"]
     totals[last_state] = totals.get(last_state, 0.0) + \
         max(0.0, until - last_time)
     return totals

@@ -1,0 +1,1 @@
+"""Fixture package mirroring ``repro.obs`` for the seam enforcer."""

@@ -1,0 +1,24 @@
+"""Fixture: flight-clock violations in a flight-recorder module.
+
+Never imported — parsed by the seam-enforcer tests.  A recorder that
+reads its own clock instead of taking caller timestamps would diverge
+between simulated and live runs.
+"""
+
+import datetime
+from time import monotonic
+
+
+class BadRecorder:
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.events = []
+
+    def record(self, kind):
+        self.events.append((self.runtime.now, kind))    # flight-clock
+
+    def record_wall(self, kind):
+        self.events.append((monotonic(), kind))
+
+    def record_date(self, kind):
+        self.events.append((datetime.datetime.now(), kind))

@@ -3,8 +3,9 @@
 from pathlib import Path
 
 from repro.analysis import SeamEnforcer
-from repro.analysis.seams import (RULE_BLOCKING_IO, RULE_FRAMING,
-                                  RULE_IMPORT, RULE_SHARD_ISOLATION)
+from repro.analysis.seams import (RULE_BLOCKING_IO, RULE_FLIGHT_CLOCK,
+                                  RULE_FRAMING, RULE_IMPORT,
+                                  RULE_SHARD_ISOLATION)
 
 FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
 BAD_SOCKET = FIXTURES / "repro" / "gcs" / "bad_socket.py"
@@ -13,6 +14,7 @@ BAD_FRAMING = FIXTURES / "repro" / "runtime" / "bad_framing.py"
 FIXTURE_CODEC = FIXTURES / "repro" / "net" / "codec.py"
 BAD_CROSS_SHARD = FIXTURES / "repro" / "shard" / "bad_cross_shard.py"
 FIXTURE_FABRIC = FIXTURES / "repro" / "shard" / "fabric.py"
+BAD_FLIGHT = FIXTURES / "repro" / "obs" / "flight.py"
 
 
 def test_fixture_socket_import_detected():
@@ -108,6 +110,37 @@ def test_shard_isolation_allows_sibling_imports(tmp_path):
     (pkg / "txn.py").write_text("prepare_update = None\n")
     findings = [f for f in SeamEnforcer().check_paths([tmp_path])
                 if f.rule == RULE_SHARD_ISOLATION]
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_fixture_flight_clock_detected():
+    findings = [f for f in SeamEnforcer().check_paths([BAD_FLIGHT])
+                if f.rule == RULE_FLIGHT_CLOCK]
+    assert any("'datetime'" in f.message for f in findings)
+    assert any("'time'" in f.message for f in findings)
+    # Both `self.runtime.now` and `datetime.datetime.now` evaluate a
+    # `.now` attribute inside the recorder module.
+    assert sum("'.now'" in f.message for f in findings) == 2
+
+
+def test_flight_clock_rule_covers_only_the_recorder(tmp_path):
+    # The same source outside repro/obs/flight.py is not in scope for
+    # flight-clock (other rules may still apply).
+    module = tmp_path / "repro" / "obs" / "other.py"
+    module.parent.mkdir(parents=True)
+    (module.parent / "__init__.py").write_text("")
+    module.write_text(BAD_FLIGHT.read_text())
+    findings = [f for f in SeamEnforcer().check_paths([module])
+                if f.rule == RULE_FLIGHT_CLOCK]
+    assert findings == []
+
+
+def test_live_flight_recorder_takes_caller_timestamps():
+    # The real recorder passes its own rule: no clock imports, no
+    # `.now` — every timestamp is a parameter off the Runtime clock.
+    src = Path(__file__).parent.parent / "src" / "repro" / "obs"
+    findings = [f for f in SeamEnforcer().check_paths([src])
+                if f.rule == RULE_FLIGHT_CLOCK]
     assert findings == [], "\n".join(f.format() for f in findings)
 
 

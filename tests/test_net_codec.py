@@ -20,6 +20,10 @@ VIEW = ViewId(3, 1)
 CORPUS = [
     DataMsg(VIEW, 2, 7, ("SET", "k", 1), ServiceLevel.SAFE, 180),
     DataMsg(VIEW, 14, 0, None, ServiceLevel.AGREED, 48),
+    # trace-context field (wire v2): traced data and channel payloads
+    DataMsg(VIEW, 2, 8, ("SET", "k", 2), ServiceLevel.SAFE, 180,
+            (2 << 32) | 8),
+    ChanData(1, 10, {"state": [4]}, 320, (1 << 62) | 12345),
     StampMsg(VIEW, ((5, 2, 7), (6, 3, 0))),
     StampMsg(VIEW, ()),
     AckMsg(VIEW, 4, 1234),
@@ -32,7 +36,7 @@ CORPUS = [
     NackMsg(VIEW, 3, (7, 9, 11), 5),
     NackMsg(VIEW, 3, (), 0),
     RetransDataMsg(VIEW, ((5, 2, 7, ("SET", "k", 1), ServiceLevel.SAFE,
-                           180),)),
+                           180, (2 << 32) | 7),)),
     RetransDataMsg(VIEW, ()),
     ChanData(1, 9, {"state": [1, 2, 3]}, 320),
     ChanAck(2, 17),
@@ -86,6 +90,41 @@ def test_bad_magic_and_version_raise():
     bumped = bytes([blob[0], blob[1] + 1]) + bytes(blob[2:])
     with pytest.raises(codec.CodecError):
         codec.decode_frame(bumped)
+
+
+def test_version1_frames_are_rejected():
+    """Pre-trace (v1) frames must be refused, not mis-decoded: the v2
+    DataMsg/ChanData bodies are 8 bytes wider, so a silent accept would
+    shear every field after the header."""
+    assert codec.VERSION == 2
+    v1 = codec._HEADER.pack(codec.MAGIC, 1, 7) \
+        + codec.encode_payload(("x",))
+    with pytest.raises(codec.CodecError, match="wire version 1"):
+        codec.decode_frame(v1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=-2 ** 63, max_value=2 ** 63 - 1))
+def test_trace_field_roundtrips_any_64bit_value(trace):
+    """The trace-context id survives the frame for the full signed
+    64-bit range, on both traced wire types."""
+    data = DataMsg(VIEW, 2, 7, ("SET", "k", 1), ServiceLevel.SAFE,
+                   180, trace)
+    assert codec.decode_frame(codec.encode_frame(1, data))[1] == data
+    chan = ChanData(1, 9, "payload", 64, trace)
+    assert codec.decode_frame(codec.encode_frame(1, chan))[1] == chan
+
+
+def test_trace_field_out_of_range_takes_escape_hatch():
+    msg = DataMsg(VIEW, 2, 7, "x", ServiceLevel.SAFE, 180, 2 ** 64)
+    blob = codec.encode_frame(1, msg)
+    assert blob[codec._HEADER.size] == codec.TAG_PICKLE
+    assert codec.decode_frame(blob)[1] == msg
+
+
+def test_untraced_messages_default_to_trace_zero():
+    msg = DataMsg(VIEW, 2, 7, "x", ServiceLevel.SAFE, 180)
+    assert codec.decode_frame(codec.encode_frame(1, msg))[1].trace == 0
 
 
 def test_unknown_tag_raises():

@@ -180,8 +180,11 @@ class TestObsReport:
                                "--actions", "12"]) == 0
         out = capsys.readouterr().out
         assert "red->green" in out and "submit->green" in out
-        # Header plus one row per replica.
-        assert len(out.strip().splitlines()) == 2 + 3
+        # Header plus one row per replica in the latency table (the
+        # staleness table follows after a blank line).
+        latency_table = out.strip().split("\n\n")[0]
+        assert len(latency_table.splitlines()) == 2 + 3
+        assert "staleness ms" in out
 
     def test_json_report_is_complete(self, capsys):
         assert obsreport_main(["--json", "--replicas", "3",
