@@ -130,11 +130,21 @@ def record_wallclock(label: str, mode: str,
                      timestamp: Optional[float] = None) -> Dict[str, Any]:
     """Merge one labelled wall-clock measurement into BENCH_wallclock.json.
 
-    The file keeps one entry per label (``baseline``, ``current``, ...);
-    re-recording a label replaces it.  When both a ``baseline`` and a
-    ``current`` entry exist, the fig5a events/sec speedup between them is
-    computed and stored at the top level so the perf trajectory of the
-    sim core is a one-number read.
+    The file keeps one entry per label (``baseline``, ``pure``,
+    ``compiled``, ...); re-recording a label replaces its scenarios
+    one by one (scenarios it did not run are kept, so a
+    single-scenario rerun cannot wipe a full entry).  Two derived
+    speedups are maintained at the top level:
+
+    * ``fig5a_events_per_sec_speedup`` — the newest non-baseline entry
+      vs ``baseline`` (the historical perf trajectory);
+    * ``fig5a_compiled_speedup`` — ``compiled`` vs ``pure``, present
+      only when both builds have been measured (the mypyc win).
+
+    ``peak_heap`` is normalised on the way in: a scenario that never
+    sampled the kernel heap must report ``None``, and legacy ``0``
+    placeholders are rewritten to ``None`` (a run that dispatched any
+    event has a peak of at least 1, so 0 always meant "not sampled").
     """
     path = path or BENCH_WALLCLOCK_PATH
     doc: Dict[str, Any] = {"schema": 1, "entries": {}}
@@ -148,10 +158,23 @@ def record_wallclock(label: str, mode: str,
             pass
     doc["schema"] = 1
     entries = doc.setdefault("entries", {})
-    entry: Dict[str, Any] = {"mode": mode, "scenarios": scenarios}
+    for stats in scenarios.values():
+        if not stats.get("peak_heap"):
+            stats["peak_heap"] = None
+    entry = entries.get(label)
+    if not isinstance(entry, dict):
+        entry = entries[label] = {}
+    entry["mode"] = mode
+    merged = entry.setdefault("scenarios", {})
+    merged.update(scenarios)
+    for other in entries.values():
+        if not isinstance(other, dict):
+            continue
+        for stats in other.get("scenarios", {}).values():
+            if isinstance(stats, dict) and not stats.get("peak_heap"):
+                stats["peak_heap"] = None
     if timestamp is not None:
         entry["timestamp"] = timestamp
-    entries[label] = entry
 
     def fig5a_rate(name: str) -> Optional[float]:
         try:
@@ -160,9 +183,20 @@ def record_wallclock(label: str, mode: str,
         except KeyError:
             return None
 
-    base, cur = fig5a_rate("baseline"), fig5a_rate("current")
+    base = fig5a_rate("baseline")
+    # Perf trajectory: the most recently recorded non-baseline fig5a
+    # measurement (by entry timestamp) against the baseline.
+    newest = max(
+        (name for name in entries
+         if name != "baseline" and fig5a_rate(name) is not None),
+        key=lambda name: entries[name].get("timestamp", 0.0),
+        default=None)
+    cur = fig5a_rate(newest) if newest is not None else None
     if base and cur:
         doc["fig5a_events_per_sec_speedup"] = round(cur / base, 2)
+    pure, compiled = fig5a_rate("pure"), fig5a_rate("compiled")
+    if pure and compiled:
+        doc["fig5a_compiled_speedup"] = round(compiled / pure, 2)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")

@@ -42,7 +42,10 @@ from __future__ import annotations
 
 import argparse
 import gc
+import hashlib
+import json
 import os
+import subprocess
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -55,8 +58,9 @@ except ImportError:  # running from a checkout without `pip install -e .`
     sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 
 from bench_common import (BENCH_WALLCLOCK_PATH, CLIENT_COUNTS,
-                          SCENARIO_REGISTRY, engine_factory,
+                          RESULTS_DIR, SCENARIO_REGISTRY, engine_factory,
                           open_loop_burst, record_wallclock, scenario)
+from repro import accel
 from repro.bench import sweep_clients
 from repro.core import ReplicaCluster
 from repro.gcs import GcsSettings
@@ -91,7 +95,8 @@ def _stats(wall: float, sims: List[Any],
         "events": events,
         "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
         "sim_seconds": round(sum(s.now for s in sims), 3),
-        "peak_heap": peak,
+        # None, not 0, when the kernel heap was never sampled.
+        "peak_heap": peak if peak else None,
     }
     if extra:
         stats.update(extra)
@@ -210,7 +215,7 @@ def scenario_wire_batching(smoke: bool = False) -> Dict[str, Any]:
         "events_per_sec": round(events / wall, 1) if wall else 0.0,
         "sim_seconds": round(sum(v["sim_seconds"]
                                  for v in variants.values()), 3),
-        "peak_heap": 0,
+        "peak_heap": None,
         "actions": actions,
         "variants": variants,
         "datagram_reduction": round(
@@ -412,7 +417,7 @@ def scenario_obs_overhead(smoke: bool = False) -> Dict[str, Any]:
         "events": events,
         "events_per_sec": round(events / on_wall, 1) if on_wall else 0.0,
         "sim_seconds": round(sim_seconds, 3),
-        "peak_heap": 0,
+        "peak_heap": None,
         "off_wall_seconds": round(off_wall, 4),
         "on_wall_seconds": round(on_wall, 4),
         "obs_overhead_pct": round(overhead * 100, 2),
@@ -557,7 +562,7 @@ def scenario_trace_overhead(smoke: bool = False) -> Dict[str, Any]:
         "events_per_sec": round(identity["on"][0] / on_wall, 1)
         if on_wall else 0.0,
         "sim_seconds": round(sim_seconds, 3),
-        "peak_heap": 0,
+        "peak_heap": None,
         "off_wall_seconds": round(off_wall, 4),
         "on_wall_seconds": round(on_wall, 4),
         "trace_overhead_pct": round(overhead * 100, 2),
@@ -731,12 +736,176 @@ def scenario_sharding(smoke: bool = False) -> Dict[str, Any]:
         "events": events,
         "events_per_sec": round(events / wall, 1) if wall else 0.0,
         "sim_seconds": round(sum(r["sim_seconds"] for r in runs), 3),
-        "peak_heap": 0,
+        "peak_heap": None,
         "per_shard_actions": per_shard,
         "scaling": scaling,
         "aggregate_speedup": round(speedup, 2),
         "speedup_floor": floor,
         "cross_shard_txns": txn,
+    }
+
+
+# ----------------------------------------------------------------------
+# compiled vs pure build (the repro.accel seam)
+# ----------------------------------------------------------------------
+#: exact fig5a event count at seed 0 — the determinism pin every build
+#: must reproduce (also asserted by tests/test_analysis_seams.py's
+#: fig5a regression companions and the trace_overhead docstring).
+FIG5A_EVENT_PIN = 3_362_977
+#: minimum fig5a events/sec of the mypyc build over the pure build.
+COMPILED_SPEEDUP_FLOOR = 2.0
+
+
+def _accel_worker(smoke: bool) -> int:
+    """Measure one build in-process and print a JSON report.
+
+    Run as a subprocess by ``scenario_compiled_core`` — once with
+    ``REPRO_FORCE_PURE=1`` and once with the ambient (possibly
+    compiled) build — so the two builds are compared from the same
+    installed tree without re-importing anything in-process.  The
+    digest folds every replica database of both workloads plus the
+    fig5a throughput table, so any cross-build divergence in ordering,
+    delivery, or state shows up as a one-line mismatch.
+    """
+    report: Dict[str, Any] = {
+        "build": accel.active(),
+        "force_pure": accel.force_pure_requested(),
+        "modules": accel.build_info(),
+    }
+    digest = hashlib.sha256()
+
+    counts = [1, 4] if smoke else CLIENT_COUNTS
+    duration = 0.5 if smoke else 3.0
+    warmup = 0.2 if smoke else 1.0
+    build, systems = _capturing(engine_factory())
+    start = time.perf_counter()
+    results = sweep_clients(build, counts, duration=duration, warmup=warmup)
+    wall = time.perf_counter() - start
+    events = sum(s.sim.events_processed for s in systems)
+    sim_seconds = round(sum(s.sim.now for s in systems), 3)
+    report["fig5a"] = {
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "sim_seconds": sim_seconds,
+    }
+    for r in results:
+        digest.update(f"fig5a:{r.clients}:{r.throughput!r}"
+                      f":{r.mean_latency!r};".encode())
+    for system in systems:
+        for node in sorted(system.cluster.replicas):
+            digest.update(
+                system.cluster.replicas[node].database.digest().encode())
+
+    membership = scenario_membership(smoke)
+    report["membership"] = {
+        "wall_seconds": membership["wall_seconds"],
+        "events": membership["events"],
+        "sim_seconds": membership["sim_seconds"],
+    }
+    # Replay the membership workload state into the digest: re-running
+    # it would double the cost, so digest the deterministic stats
+    # instead (events + sim_seconds pin the whole trace; see
+    # check_determinism).
+    digest.update(f"membership:{membership['events']}"
+                  f":{membership['sim_seconds']!r};".encode())
+    report["digest"] = digest.hexdigest()
+    print(json.dumps(report))
+    return 0
+
+
+def _accel_subprocess(force_pure: bool, smoke: bool) -> Dict[str, Any]:
+    """Run ``--accel-worker`` in a subprocess under the chosen build."""
+    env = dict(os.environ)
+    if force_pure:
+        env["REPRO_FORCE_PURE"] = "1"
+    else:
+        env.pop("REPRO_FORCE_PURE", None)
+    cmd = [sys.executable, os.path.abspath(__file__), "--accel-worker"]
+    if smoke:
+        cmd.append("--smoke")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    which = "pure" if force_pure else "default"
+    if proc.returncode != 0:
+        raise SystemExit(f"accel worker ({which} build) failed with "
+                         f"code {proc.returncode}:\n{proc.stderr}")
+    try:
+        report = json.loads(proc.stdout.splitlines()[-1])
+    except (IndexError, ValueError):
+        raise SystemExit(f"accel worker ({which} build) printed no "
+                         f"JSON report:\n{proc.stdout}\n{proc.stderr}")
+    if not isinstance(report, dict):
+        raise SystemExit(f"accel worker ({which} build) report is not "
+                         f"an object: {report!r}")
+    return report
+
+
+@scenario("compiled_core")
+def scenario_compiled_core(smoke: bool = False) -> Dict[str, Any]:
+    """Compiled-vs-pure differential: same trace, faster clock.
+
+    Runs the fig5a engine sweep and the membership fault schedule in
+    two subprocesses — one pinned to the pure-python sources via
+    ``REPRO_FORCE_PURE=1``, one on whatever build is installed — and
+    asserts the simulated results are *bit-identical*: same event
+    counts, same simulated seconds, same state digest (every replica
+    database plus the throughput table).  In full mode the fig5a event
+    count is additionally pinned to ``FIG5A_EVENT_PIN`` exactly.
+
+    When the default build is actually compiled (mypyc: see
+    ``repro.accel`` and the ``accel`` extra), the full run also gates
+    compiled fig5a events/sec at ``COMPILED_SPEEDUP_FLOOR``x the pure
+    rate.  Without a compiled install both subprocesses run pure and
+    the scenario degrades to a cross-process determinism check — still
+    meaningful, never skipped.
+    """
+    start = time.perf_counter()
+    pure = _accel_subprocess(force_pure=True, smoke=smoke)
+    default = _accel_subprocess(force_pure=False, smoke=smoke)
+    wall = time.perf_counter() - start
+    if pure["build"] != "pure":
+        raise SystemExit(
+            f"REPRO_FORCE_PURE did not pin the pure build: worker "
+            f"reports {pure['build']} ({pure['modules']})")
+    for key in ("fig5a", "membership"):
+        pure_sig = (pure[key]["events"], pure[key]["sim_seconds"])
+        default_sig = (default[key]["events"], default[key]["sim_seconds"])
+        if pure_sig != default_sig:
+            raise SystemExit(
+                f"builds diverged on {key}: pure ran {pure_sig} "
+                f"(events, sim s) vs {default['build']} {default_sig}")
+    if pure["digest"] != default["digest"]:
+        raise SystemExit(
+            f"builds diverged on replicated state: pure digest "
+            f"{pure['digest']} vs {default['build']} {default['digest']}")
+    if not smoke and pure["fig5a"]["events"] != FIG5A_EVENT_PIN:
+        raise SystemExit(
+            f"fig5a determinism pin broken: {pure['fig5a']['events']} "
+            f"events (expected exactly {FIG5A_EVENT_PIN})")
+    compiled_active = default["build"] == "compiled"
+    speedup = (default["fig5a"]["events_per_sec"]
+               / pure["fig5a"]["events_per_sec"])
+    if compiled_active and not smoke and speedup < COMPILED_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"compiled build speedup {speedup:.2f}x is below the "
+            f"{COMPILED_SPEEDUP_FLOOR}x floor (pure "
+            f"{pure['fig5a']['events_per_sec']} events/sec vs compiled "
+            f"{default['fig5a']['events_per_sec']})")
+    events = pure["fig5a"]["events"] + pure["membership"]["events"]
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall else 0.0,
+        "sim_seconds": round(pure["fig5a"]["sim_seconds"]
+                             + pure["membership"]["sim_seconds"], 3),
+        "peak_heap": None,
+        "default_build": default["build"],
+        "compiled_active": compiled_active,
+        "digest": pure["digest"],
+        "builds": {"pure": pure["fig5a"],
+                   "default": default["fig5a"]},
+        "compiled_speedup": round(speedup, 2),
+        "speedup_floor": COMPILED_SPEEDUP_FLOOR,
     }
 
 
@@ -766,18 +935,34 @@ def check_determinism() -> None:
     print("determinism check: OK (two runs bit-identical)")
 
 
+def _profiled(fn: Callable[[bool], Dict[str, Any]], smoke: bool,
+              profiler: Any) -> Dict[str, Any]:
+    """Run one scenario invocation under an accumulating profiler."""
+    profiler.enable()
+    try:
+        return fn(smoke)
+    finally:
+        profiler.disable()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Wall-clock perf harness for the simulation core")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced scenarios for CI smoke testing")
-    parser.add_argument("--label", default="current",
+    parser.add_argument("--label", default=None,
                         help="entry label in BENCH_wallclock.json "
-                             "(baseline | current | ...)")
+                             "(baseline | pure | compiled | ...); "
+                             "defaults to the active build reported by "
+                             "repro.accel, so pure and compiled runs "
+                             "land in separate entries instead of "
+                             "overwriting one another")
     parser.add_argument("--output", default=BENCH_WALLCLOCK_PATH,
                         help="path of the JSON trajectory file")
-    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
-                        help="run a single scenario instead of all")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        action="append", default=None,
+                        help="run one scenario instead of all "
+                             "(repeatable)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="run each scenario N times, record the "
                              "fastest wall clock (the usual way to damp "
@@ -787,20 +972,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "determinism check")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run the determinism gate as well")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each scenario in cProfile: prints "
+                             "the top-30 functions by cumulative time "
+                             "and writes benchmarks/results/"
+                             "<scenario>.pstats for pstats/snakeviz")
+    parser.add_argument("--accel-worker", action="store_true",
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.accel_worker:
+        return _accel_worker(args.smoke)
 
     if args.check_determinism:
         check_determinism()
 
-    names = [args.scenario] if args.scenario else list(SCENARIOS)
+    label = args.label if args.label is not None else accel.active()
+    names = args.scenario if args.scenario else list(SCENARIOS)
     scenarios: Dict[str, Dict[str, Any]] = {}
     for name in names:
         print(f"running {name} ({'smoke' if args.smoke else 'full'}"
               f"{f', best of {args.repeat}' if args.repeat > 1 else ''})"
               " ...", flush=True)
-        stats = SCENARIOS[name](args.smoke)
+        profiler = None
+        if args.profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            run = SCENARIOS[name]
+            stats = _profiled(run, args.smoke, profiler)
+        else:
+            stats = SCENARIOS[name](args.smoke)
         for _ in range(args.repeat - 1):
-            again = SCENARIOS[name](args.smoke)
+            if profiler is not None:
+                again = _profiled(SCENARIOS[name], args.smoke, profiler)
+            else:
+                again = SCENARIOS[name](args.smoke)
             if again["events"] != stats["events"] \
                     or again["sim_seconds"] != stats["sim_seconds"]:
                 raise SystemExit(
@@ -810,18 +1016,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{again['sim_seconds']}s)")
             if again["wall_seconds"] < stats["wall_seconds"]:
                 stats = again
+        if profiler is not None:
+            import pstats
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            pstats_path = os.path.join(RESULTS_DIR, f"{name}.pstats")
+            profiler.dump_stats(pstats_path)
+            pstats.Stats(profiler, stream=sys.stdout) \
+                .sort_stats("cumulative").print_stats(30)
+            print(f"profile written to {pstats_path}")
         scenarios[name] = stats
+        peak = stats.get("peak_heap")
         print(f"  {name}: {stats['wall_seconds']}s wall, "
               f"{stats['events']} events, "
               f"{stats['events_per_sec']:.0f} events/sec, "
-              f"peak heap {stats['peak_heap']}")
+              f"peak heap {peak if peak is not None else 'n/a'}")
 
     mode = "smoke" if args.smoke else "full"
-    doc = record_wallclock(args.label, mode, scenarios, path=args.output,
+    doc = record_wallclock(label, mode, scenarios, path=args.output,
                            timestamp=time.time())
     speedup = doc.get("fig5a_events_per_sec_speedup")
     if speedup is not None:
         print(f"fig5a events/sec speedup vs baseline: {speedup}x")
+    compiled_speedup = doc.get("fig5a_compiled_speedup")
+    if compiled_speedup is not None:
+        print(f"fig5a compiled-vs-pure speedup: {compiled_speedup}x")
     print(f"wrote {args.output}")
     return 0
 

@@ -1,0 +1,113 @@
+"""Build introspection for the optional mypyc-accelerated hot core.
+
+The modules in :data:`~repro.accel.modules.ACCEL_MODULES` exist in two
+interchangeable builds:
+
+* **pure** — the checked-in python sources, always importable, the
+  reference implementation every figure and test is defined against;
+* **compiled** — the same files compiled to C extensions by mypyc when
+  the package is installed with ``REPRO_ACCEL=1`` (see ``setup.py``).
+
+Which build is live is a property of the import system, not of the
+code: the extensions simply shadow the ``.py`` sources on the module
+search path.  :func:`active` reports the live build; benchmarks and the
+differential parity suite record it next to their numbers so a result
+is never attributed to the wrong build.
+
+Setting ``REPRO_FORCE_PURE=1`` in the environment installs a meta-path
+finder *before* any accel module is imported (this package is imported
+first from ``repro/__init__``) that pins every accel module to its
+python source, bypassing an installed extension.  That is what lets the
+``compiled_core`` bench scenario and the parity tests run both builds
+from one installed tree and diff them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.machinery
+import importlib.util
+import os
+import sys
+from importlib.abc import MetaPathFinder
+from importlib.machinery import ModuleSpec
+from typing import Dict, Optional, Sequence
+
+from .modules import ACCEL_MODULES
+
+__all__ = ["ACCEL_MODULES", "active", "build_info", "module_build",
+           "force_pure_requested"]
+
+#: Filename suffixes that identify a compiled extension module.
+_EXT_SUFFIXES = (".so", ".pyd")
+
+
+def force_pure_requested() -> bool:
+    """True when the environment pins accel modules to python source."""
+    return os.environ.get("REPRO_FORCE_PURE", "") not in ("", "0")
+
+
+def module_build(name: str) -> str:
+    """``"compiled"`` or ``"pure"`` for one accel module (imports it)."""
+    module = importlib.import_module(name)
+    origin = getattr(module, "__file__", None) or ""
+    return "compiled" if origin.endswith(_EXT_SUFFIXES) else "pure"
+
+
+def build_info() -> Dict[str, str]:
+    """Per-module build of the whole accelerated set."""
+    return {name: module_build(name) for name in ACCEL_MODULES}
+
+
+def active() -> str:
+    """The live build of the hot core.
+
+    ``"compiled"`` when every accel module is a C extension, ``"pure"``
+    when none is, ``"mixed"`` for a partial build (a broken install —
+    the parity suite fails loudly on it rather than guessing).
+    """
+    builds = set(build_info().values())
+    if builds == {"compiled"}:
+        return "compiled"
+    if "compiled" in builds:
+        return "mixed"
+    return "pure"
+
+
+class _ForcePureFinder(MetaPathFinder):
+    """Meta-path finder that pins the accel set to its python sources.
+
+    Sits at the front of ``sys.meta_path`` and answers only for the
+    accel module names, handing back a ``SourceFileLoader`` spec for
+    the ``.py`` file next to wherever the ``repro`` package lives —
+    site-packages or a source checkout alike.  Everything else falls
+    through to the normal import machinery.
+    """
+
+    def __init__(self, names: Sequence[str], package_root: str) -> None:
+        self._names = frozenset(names)
+        self._root = package_root
+
+    def find_spec(self, fullname: str, path: object = None,
+                  target: object = None) -> Optional[ModuleSpec]:
+        if fullname not in self._names:
+            return None
+        parts = fullname.split(".")[1:]     # drop the "repro" prefix
+        source = os.path.join(self._root, *parts) + ".py"
+        if not os.path.exists(source):      # pragma: no cover - broken tree
+            return None
+        loader = importlib.machinery.SourceFileLoader(fullname, source)
+        return importlib.util.spec_from_file_location(
+            fullname, source, loader=loader)
+
+
+def _install_force_pure() -> None:
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for finder in sys.meta_path:
+        if isinstance(finder, _ForcePureFinder):    # pragma: no cover
+            return                                  # idempotent
+    sys.meta_path.insert(0, _ForcePureFinder(ACCEL_MODULES, package_root))
+
+
+if force_pure_requested():
+    _install_force_pure()

@@ -1,0 +1,37 @@
+"""The accelerated-module set (data only — importable by setup.py).
+
+``ACCEL_MODULES`` is the single source of truth for which modules make
+up the compiled hot core: ``setup.py`` compiles exactly these files
+when ``REPRO_ACCEL=1``, :func:`repro.accel.build_info` reports their
+build per module, the ``compile-discipline`` analyzer rule
+(:mod:`repro.analysis.compile_discipline`) keeps them compile-clean,
+and the ``REPRO_FORCE_PURE`` loader bypasses their extensions.
+
+Keep this module free of imports beyond the standard library: the
+build backend loads it by file path before the package is installed.
+
+Membership criteria: a module goes on this list when it is (a) on the
+per-event hot path of the throughput figures (see the ``--profile``
+output of ``benchmarks/bench_wallclock.py``) and (b) a *leaf* — it
+imports only other accel modules or lightweight data-type modules, so
+compiling it never drags protocol/state-machine code into the native
+build where the differential pure reference could not diverge-test it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Modules compiled into the accelerated build, in dependency order.
+ACCEL_MODULES: Tuple[str, ...] = (
+    "repro.sim.kernel",
+    "repro.core.colors",
+    "repro.core.knowledge",
+    "repro.core.action_queue",
+    "repro.net.latency",
+    "repro.net.message",
+    "repro.net.topology",
+    "repro.net.network",
+    "repro.net.codec",
+    "repro.gcs.ordering",
+)

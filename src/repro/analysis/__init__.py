@@ -14,7 +14,12 @@ checks alone catch late or not at all:
   keys, float equality;
 * :mod:`~repro.analysis.seams` — enforces that protocol code reaches
   clocks, timers, and sockets only through the ``Runtime`` /
-  ``Transport`` protocols of :mod:`repro.runtime.base`.
+  ``Transport`` protocols of :mod:`repro.runtime.base`;
+* :mod:`~repro.analysis.compile_discipline` — keeps the
+  mypyc-accelerated module set (:data:`repro.accel.modules.ACCEL_MODULES`)
+  fully annotated, free of dynamic-attribute constructs, and decoupled
+  from heavyweight protocol modules, so the same files compile natively
+  and interpret identically.
 
 Run the whole suite with ``repro-analyze`` (see
 :mod:`repro.tools.analyze`) or programmatically via
@@ -24,6 +29,7 @@ suppressions: ``# repro: allow[rule-name] -- reason``.
 
 from .common import (Finding, Suppressions, collect_py_files,
                      iter_findings, module_parts, parse_file)
+from .compile_discipline import CompileDisciplineChecker
 from .determinism import DeterminismLinter, PROTOCOL_PACKAGES
 from .seams import SEAM_EXEMPT_PACKAGES, SeamEnforcer
 from .state_checker import (StateMachineChecker, default_state_table,
@@ -31,6 +37,7 @@ from .state_checker import (StateMachineChecker, default_state_table,
 from .cli import main, run_analyzers
 
 __all__ = [
+    "CompileDisciplineChecker",
     "DeterminismLinter",
     "Finding",
     "PROTOCOL_PACKAGES",

@@ -1,6 +1,6 @@
 """Command-line driver for the static-analysis suite.
 
-``repro-analyze [paths...]`` runs all three analyzers over the given
+``repro-analyze [paths...]`` runs all four analyzers over the given
 files/directories (default: the installed ``repro`` package source) and
 prints findings as ``path:line: [rule] message``.
 
@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .common import Finding, collect_py_files
+from .compile_discipline import CompileDisciplineChecker
 from .determinism import DeterminismLinter
 from .seams import SeamEnforcer
 from .state_checker import StateMachineChecker, engine_sources
@@ -42,6 +43,7 @@ def run_analyzers(paths: Iterable[Path],
                                             table_path=table_path))
     findings.extend(DeterminismLinter().check_paths(files))
     findings.extend(SeamEnforcer().check_paths(files))
+    findings.extend(CompileDisciplineChecker().check_paths(files))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -1,0 +1,291 @@
+"""Compile-discipline enforcer for the accelerated module set.
+
+The modules in :data:`repro.accel.modules.ACCEL_MODULES` are compiled
+with mypyc when the ``accel`` extra is built (``REPRO_ACCEL=1``, see
+``setup.py``); the same files remain the pure-python reference that
+the ``compiled_core`` differential gate runs against.  For that dual
+life the files must stay inside the subset of Python that compiles
+*and* behaves identically interpreted.  This analyzer pins the subset:
+
+* **compile-annotations** — every function in an accel module is fully
+  annotated (parameters, ``*args``/``**kwargs``, return type).  mypyc
+  falls back to boxed dynamic operations on anything untyped, which
+  silently erases the speedup; a lambda (unannotatable by
+  construction) is flagged for the same reason.
+* **compile-dynamic** — no ``getattr``/``setattr``/``delattr``,
+  ``vars``/``globals``/``locals``, ``eval``/``exec``/``__import__``,
+  or ``__dict__`` access.  Native classes have no instance dict, so
+  these constructs either fail at runtime in the compiled build or
+  force mypyc to deoptimise the class; they are also the hooks
+  monkeypatching relies on, and a module that can be monkeypatched
+  cannot be trusted to behave identically compiled and interpreted.
+* **compile-imports** — accel modules import only other accel modules,
+  lightweight data-type modules, and the standard library.  Importing
+  a heavyweight protocol module (the engine, the GCS daemon, a bare
+  ``repro.*`` package ``__init__``) would drag uncompiled code into
+  the compiled core's import graph and re-couple the leaf modules to
+  the layers the differential gate needs to vary independently.
+  Imports under ``if TYPE_CHECKING:`` are exempt (they never execute).
+
+Scope is exactly the files whose dotted module path appears in
+``ACCEL_MODULES`` — the one list ``setup.py`` compiles — so adding a
+module to the compiled set automatically puts it under this analyzer.
+Unlike the other analyzers this one imports :mod:`repro.accel.modules`
+for that list; the module is data-only by contract (see its
+docstring), so the no-imports-of-analysed-code rule is preserved in
+spirit.  Deliberate exceptions carry
+``# repro: allow[compile-dynamic] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..accel.modules import ACCEL_MODULES
+from .common import (Finding, SourceFile, collect_py_files, iter_findings,
+                     module_parts, parse_file)
+
+ANALYZER = "compile-discipline"
+RULE_ANNOTATIONS = "compile-annotations"
+RULE_DYNAMIC = "compile-dynamic"
+RULE_IMPORTS = "compile-imports"
+
+#: Builtins that defeat static compilation (and enable monkeypatching).
+_DYNAMIC_CALLS = frozenset({
+    "getattr", "setattr", "delattr", "vars", "globals", "locals",
+    "eval", "exec", "__import__",
+})
+
+#: Heavyweight protocol modules an accel leaf must never import.
+_HEAVY_MODULES = frozenset({
+    ("repro", "core", "engine"),
+    ("repro", "core", "replica"),
+    ("repro", "core", "cluster"),
+    ("repro", "core", "reconfig"),
+    ("repro", "core", "recovery"),
+    ("repro", "core", "client"),
+    ("repro", "gcs", "daemon"),
+    ("repro", "gcs", "channel"),
+    ("repro", "gcs", "group"),
+    ("repro", "sim", "process"),
+})
+
+#: Whole repro subpackages off-limits to the compiled core.
+_HEAVY_PACKAGES = frozenset({
+    "obs", "storage", "shard", "tools", "semantics", "baselines",
+    "bench", "runtime", "analysis",
+})
+
+#: Bare package imports (their ``__init__`` re-exports the world).
+_BARE_PACKAGES = frozenset({
+    ("repro",),
+    ("repro", "core"),
+    ("repro", "gcs"),
+    ("repro", "net"),
+    ("repro", "sim"),
+})
+
+
+def _accel_module_tuples(
+        modules: Sequence[str]) -> Tuple[Tuple[str, ...], ...]:
+    return tuple(tuple(name.split(".")) for name in modules)
+
+
+class CompileDisciplineChecker:
+    """Keep the mypyc-compiled module set compile-clean."""
+
+    def __init__(self, modules: Optional[Sequence[str]] = None):
+        names = tuple(modules) if modules is not None else ACCEL_MODULES
+        self._module_tuples = _accel_module_tuples(names)
+
+    def in_scope(self, path: Path) -> bool:
+        parts = module_parts(path)
+        return any(parts[-len(mod):] == mod
+                   for mod in self._module_tuples)
+
+    def check_paths(self, paths: Iterable[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in collect_py_files(paths):
+            if not self.in_scope(path):
+                continue
+            source = parse_file(path)
+            findings.extend(iter_findings(self._check_source(source),
+                                          source))
+        return findings
+
+    def _check_source(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        path = str(source.path)
+        tree = source.tree
+        package = module_parts(source.path)[:-1]
+        guarded = _type_checking_nodes(tree)
+        methods = _method_defs(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_signature(node, path, methods))
+            elif isinstance(node, ast.Lambda):
+                findings.append(Finding(
+                    rule=RULE_ANNOTATIONS, path=path, line=node.lineno,
+                    message=("lambda cannot be annotated; use a def with "
+                             "full annotations so mypyc compiles it "
+                             "natively"),
+                    analyzer=ANALYZER))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, path))
+            elif isinstance(node, ast.Attribute):
+                if node.attr == "__dict__":
+                    findings.append(self._dynamic_finding(
+                        node.lineno, path, "'__dict__' access",
+                        "native classes have no instance dict"))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                if node not in guarded:
+                    findings.extend(self._check_import(
+                        node, path, package))
+        return findings
+
+    # ------------------------------------------------------------------
+    # compile-annotations
+    # ------------------------------------------------------------------
+    def _check_signature(self, node: ast.AST, path: str,
+                         methods: Set[ast.AST]) -> List[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        findings: List[Finding] = []
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if node in methods and positional \
+                and not _is_staticmethod(node):
+            positional = positional[1:]        # self / cls
+        unannotated = [a.arg for a in positional + list(args.kwonlyargs)
+                       if a.annotation is None]
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None and extra.annotation is None:
+                unannotated.append(f"*{extra.arg}")
+        if unannotated:
+            findings.append(Finding(
+                rule=RULE_ANNOTATIONS, path=path, line=node.lineno,
+                message=(f"parameter(s) {', '.join(unannotated)} of "
+                         f"{node.name}() lack type annotations; mypyc "
+                         f"boxes untyped code, erasing the compiled "
+                         f"speedup"),
+                analyzer=ANALYZER))
+        if node.returns is None:
+            findings.append(Finding(
+                rule=RULE_ANNOTATIONS, path=path, line=node.lineno,
+                message=(f"{node.name}() has no return annotation "
+                         f"(use '-> None' for procedures)"),
+                analyzer=ANALYZER))
+        return findings
+
+    # ------------------------------------------------------------------
+    # compile-dynamic
+    # ------------------------------------------------------------------
+    def _check_call(self, node: ast.Call, path: str) -> List[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _DYNAMIC_CALLS:
+            return [self._dynamic_finding(
+                node.lineno, path, f"call to {func.id}()",
+                "it defeats static compilation and invites "
+                "monkeypatching")]
+        return []
+
+    def _dynamic_finding(self, line: int, path: str, what: str,
+                         why: str) -> Finding:
+        return Finding(
+            rule=RULE_DYNAMIC, path=path, line=line,
+            message=(f"{what} in a compiled module; {why} — the "
+                     f"compiled and pure builds must stay "
+                     f"interchangeable"),
+            analyzer=ANALYZER)
+
+    # ------------------------------------------------------------------
+    # compile-imports
+    # ------------------------------------------------------------------
+    def _check_import(self, node: ast.AST, path: str,
+                      package: Tuple[str, ...]) -> List[Finding]:
+        findings: List[Finding] = []
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolved = tuple(alias.name.split("."))
+                finding = self._import_finding(resolved, node.lineno, path)
+                if finding is not None:
+                    findings.append(finding)
+        elif isinstance(node, ast.ImportFrom):
+            resolved = _resolve_import(node, package)
+            finding = self._import_finding(resolved, node.lineno, path)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _import_finding(self, resolved: Tuple[str, ...], line: int,
+                        path: str) -> Optional[Finding]:
+        if not resolved or resolved[0] != "repro":
+            return None
+        why = None
+        if resolved in _BARE_PACKAGES:
+            why = (f"the bare package {'.'.join(resolved)!r} (its "
+                   f"__init__ imports the whole layer)")
+        elif len(resolved) >= 2 and resolved[1] in _HEAVY_PACKAGES:
+            why = f"the {'.'.join(resolved[:2])!r} subpackage"
+        elif resolved[:3] in _HEAVY_MODULES:
+            why = f"the heavyweight module {'.'.join(resolved[:3])!r}"
+        if why is None:
+            return None
+        return Finding(
+            rule=RULE_IMPORTS, path=path, line=line,
+            message=(f"compiled module imports {why}; accel leaves may "
+                     f"import only other accel modules, light data-type "
+                     f"modules, and the standard library (gate "
+                     f"type-only imports behind TYPE_CHECKING)"),
+            analyzer=ANALYZER)
+
+
+def _resolve_import(node: ast.ImportFrom,
+                    package: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The dotted module an ``ImportFrom`` targets, with relative levels
+    resolved against the importing module's package (same scheme as
+    :meth:`repro.analysis.seams.SeamEnforcer._resolve_import`)."""
+    suffix = tuple((node.module or "").split(".")) if node.module else ()
+    if not node.level:
+        return suffix
+    base = package[:len(package) - (node.level - 1)] \
+        if node.level > 1 else package
+    return base + suffix
+
+
+def _type_checking_nodes(tree: ast.Module) -> Set[ast.AST]:
+    """Every node inside an ``if TYPE_CHECKING:`` block."""
+    guarded: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking(node.test):
+            for stmt in node.body:
+                for child in ast.walk(stmt):
+                    guarded.add(child)
+    return guarded
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _method_defs(tree: ast.Module) -> Set[ast.AST]:
+    """Functions that are direct children of a class body."""
+    methods: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(child)
+    return methods
+
+
+def _is_staticmethod(node: ast.AST) -> bool:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return any(isinstance(dec, ast.Name) and dec.id == "staticmethod"
+               for dec in node.decorator_list)

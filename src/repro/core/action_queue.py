@@ -21,12 +21,13 @@ sequences are prefixes of one another).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, final
 
 from ..db import Action, ActionId
 from .colors import Color
 
 
+@final
 class ActionQueue:
     """Red/green bookkeeping for one replica."""
 
@@ -140,16 +141,19 @@ class ActionQueue:
         out-of-order arrivals, which are ignored as in the paper.
         """
         creator = action.server_id
-        if creator not in self.red_cut:
+        red_cut = self.red_cut
+        cut = red_cut.get(creator)
+        if cut is None:
             return False
-        if self.red_cut[creator] != action.action_id.index - 1:
+        action_id = action.action_id
+        if cut != action_id.index - 1:
             return False
-        self.red_cut[creator] = action.action_id.index
-        self._red[action.action_id] = action
+        red_cut[creator] = action_id.index
+        self._red[action_id] = action
         bucket = self._red_by_creator.get(creator)
         if bucket is None:
             bucket = self._red_by_creator[creator] = {}
-        bucket[action.action_id] = action
+        bucket[action_id] = action
         return True
 
     def mark_green(self, action: Action) -> bool:
@@ -159,10 +163,11 @@ class ActionQueue:
         True if the action became green now; False if it already was.
         """
         self.mark_red(action)
-        if action.action_id in self._green_pos:
+        action_id = action.action_id
+        if action_id in self._green_pos:
             return False
-        if action.action_id not in self._red:
-            if self.knows(action.action_id):
+        if action_id not in self._red:
+            if self.knows(action_id):
                 # Covered by the red cut but held neither red nor
                 # green: a duplicate of an action subsumed by a
                 # snapshot (white / inherited) — already ordered.
@@ -170,12 +175,12 @@ class ActionQueue:
             # Ahead of the cut: the caller violated FIFO
             # retransmission order.
             raise ValueError(
-                f"cannot green {action.action_id}: FIFO gap "
+                f"cannot green {action_id}: FIFO gap "
                 f"(red_cut={self.red_cut.get(action.server_id)})")
-        self._remove_red(action.action_id)
-        position = self.green_count
+        self._remove_red(action_id)
+        position = self.green_offset + len(self._green)
         self._green.append(action)
-        self._green_pos[action.action_id] = position
+        self._green_pos[action_id] = position
         return True
 
     def _remove_red(self, action_id: ActionId) -> None:

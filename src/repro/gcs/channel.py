@@ -20,40 +20,20 @@ the datapath is bit-identical to the classic one-ack-per-payload ARQ.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..net import Datagram
 from ..net.batching import Batch, WireBatcher
 from ..sim import Actor
+# Re-exported for backward compatibility: the message dataclasses
+# moved to repro.gcs.types so the compiled wire codec can import them
+# without pulling in this module's Actor machinery.
+from .types import ChanAck as ChanAck
+from .types import ChanData as ChanData
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Observability
     from ..runtime.base import Runtime, Transport
-
-
-@dataclass(frozen=True)
-class ChanData:
-    """A sequenced channel payload.
-
-    ``trace`` carries the distributed-tracing context of the payload
-    (0 = untraced); it survives go-back-N retransmission and is packed
-    into the binary wire frame alongside the sequence number.
-    """
-
-    src: int
-    seq: int
-    payload: Any
-    size: int
-    trace: int = 0
-
-
-@dataclass(frozen=True)
-class ChanAck:
-    """Cumulative ack: receiver got everything below ``ack_seq``."""
-
-    src: int
-    ack_seq: int
 
 
 class _PeerState:

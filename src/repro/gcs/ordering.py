@@ -25,7 +25,7 @@ suffix*, not the view's lifetime.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, final
 
 from .types import DataMsg, ServiceLevel, StateReportMsg, ViewId
 
@@ -40,6 +40,7 @@ _NOTHING: List[Tuple[int, DataMsg]] = []
 _SAFE = ServiceLevel.SAFE
 
 
+@final
 class ViewOrdering:
     """Ordering/stability bookkeeping for one regular configuration."""
 
@@ -50,6 +51,9 @@ class ViewOrdering:
         self.me = me
         self.mode = mode
         self.sequencer = min(self.members)
+        # Hoisted role test: read on every data ingestion, fixed for
+        # the lifetime of the view.
+        self._stamping = mode == "sequencer" and me == self.sequencer
         # -- data plane --------------------------------------------------
         self.data: Dict[Key, DataMsg] = {}
         self.stamp_of: Dict[Key, int] = {}
@@ -96,7 +100,7 @@ class ViewOrdering:
         seq = self.stamp_of.get(key)
         if seq is not None:
             self._missing.discard(seq)
-        if self.mode == "sequencer" and self.me == self.sequencer:
+        if self._stamping:
             self._stamp_contiguous(msg.origin)
         self._advance_ack()
         return True
@@ -183,8 +187,10 @@ class ViewOrdering:
             key = key_at.get(s)
             if key is None or key not in data:
                 break
-            self.ack_seq = s
             s += 1
+        # One attribute write per call, not one per advanced position.
+        if s - 1 > self.ack_seq:
+            self.ack_seq = s - 1
         me = self.me
         old = self.acks.get(me, -1)
         if old < self.ack_seq:
@@ -209,22 +215,27 @@ class ViewOrdering:
         """
         key_at = self.key_at
         data = self.data
-        key = key_at.get(self.delivered_seq + 1)
+        s = self.delivered_seq + 1
+        key = key_at.get(s)
         if key is None or key not in data:
             return _NOTHING
         out: List[Tuple[int, DataMsg]] = []
         stable = self._stability
         while True:
-            s = self.delivered_seq + 1
-            key = key_at.get(s)
-            if key is None or key not in data:
-                break
             msg = data[key]
             if s > stable and msg.service is _SAFE:
                 break
-            self.delivered_seq = s
-            self._stamped_undelivered -= 1
             out.append((s, msg))
+            s += 1
+            key = key_at.get(s)
+            if key is None or key not in data:
+                break
+        delivered = len(out)
+        if delivered:
+            # Counters are batched: one attribute write per call
+            # instead of two per delivered message.
+            self.delivered_seq += delivered
+            self._stamped_undelivered -= delivered
         return out
 
     def needs_ack(self) -> bool:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import FrozenSet, NamedTuple, Optional, Tuple
+from typing import Any, FrozenSet, NamedTuple, Optional, Tuple
 
 from ..net.batching import WireBatchConfig
 
@@ -200,6 +200,35 @@ class RetransDataMsg:
 
     view_id: ViewId
     items: Tuple[Tuple, ...]
+
+
+# -- reliable point-to-point channel messages ---------------------------
+# (defined here rather than in repro.gcs.channel so the wire codec — a
+# compiled leaf module — depends only on data types, never on the
+# channel's Actor machinery)
+
+@dataclass(frozen=True)
+class ChanData:
+    """A sequenced channel payload.
+
+    ``trace`` carries the distributed-tracing context of the payload
+    (0 = untraced); it survives go-back-N retransmission and is packed
+    into the binary wire frame alongside the sequence number.
+    """
+
+    src: int
+    seq: int
+    payload: Any
+    size: int
+    trace: int = 0
+
+
+@dataclass(frozen=True)
+class ChanAck:
+    """Cumulative ack: receiver got everything below ``ack_seq``."""
+
+    src: int
+    ack_seq: int
 
 
 # -- membership protocol messages --------------------------------------

@@ -35,10 +35,9 @@ import pickle
 import struct
 from typing import Any, Callable, Dict, List, Tuple
 
-from ..gcs.channel import ChanAck, ChanData
-from ..gcs.types import (AckMsg, DataMsg, HeartbeatMsg, NackMsg,
-                         RetransDataMsg, ServiceLevel, StampMsg, TokenMsg,
-                         ViewId)
+from ..gcs.types import (AckMsg, ChanAck, ChanData, DataMsg, HeartbeatMsg,
+                         NackMsg, RetransDataMsg, ServiceLevel, StampMsg,
+                         TokenMsg, ViewId)
 from .batching import Batch
 
 

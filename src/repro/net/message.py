@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, final
 
 
+@final
 class Datagram:
     """One unreliable datagram in flight.
 
@@ -21,7 +22,7 @@ class Datagram:
     __slots__ = ("src", "dst", "payload", "size", "sent_at")
 
     def __init__(self, src: int, dst: int, payload: Any, size: int = 200,
-                 sent_at: float = 0.0):
+                 sent_at: float = 0.0) -> None:
         self.src = src
         self.dst = dst
         self.payload = payload

@@ -13,14 +13,23 @@ flight — exactly the situation Extended Virtual Synchrony exists to
 handle.  A multicast pays the sender's egress serialization once and
 fans out to each destination (hardware multicast on a LAN, as used by
 Spread).
+
+This module is part of the accelerated set (:mod:`repro.accel`); the
+same file is the pure-python reference and the mypyc compilation unit.
+Everything read per datagram — the kernel heap, its sequence counter,
+the bound arrival callbacks, the profile-derived constants — is hoisted
+into attributes at construction; the per-destination loop touches only
+locals and dict lookups.
 """
 
 from __future__ import annotations
 
+import random
 from heapq import heappush
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, final
 
-from ..sim import Simulator, Tracer
+from ..sim.kernel import Simulator
+from ..sim.trace import Tracer
 from .latency import NetworkProfile
 from .message import Datagram
 from .topology import Topology
@@ -28,6 +37,15 @@ from .topology import Topology
 Handler = Callable[[Datagram], None]
 
 
+def _zero() -> float:
+    """Stand-in RNG draw for the rng-less fabric (never actually drawn:
+    jitter and loss are forced to 0.0 when no rng is configured, and the
+    draws are guarded by ``> 0.0`` tests — this keeps the draw callable
+    non-optional for the type checker and the compiled build)."""
+    return 0.0
+
+
+@final
 class _Port:
     """FIFO service queues for one node's NIC (egress and ingress)."""
 
@@ -42,6 +60,7 @@ class _Port:
         self.ingress_free_at = 0.0
 
 
+@final
 class Network:
     """Datagram fabric over a :class:`Topology`.
 
@@ -58,16 +77,31 @@ class Network:
 
     def __init__(self, sim: Simulator, topology: Topology,
                  profile: Optional[NetworkProfile] = None,
-                 rng=None, tracer: Optional[Tracer] = None):
+                 rng: Optional[random.Random] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.topology = topology
-        self.profile = profile or NetworkProfile()
-        # Hoisted once: read per arriving datagram.
+        self.profile = profile if profile is not None else NetworkProfile()
+        # Hoisted once: read per datagram on the delivery path.
         self._recv_overhead = self.profile.recv_overhead
+        self._send_overhead = self.profile.send_overhead
+        self._propagation = self.profile.propagation_delay
+        bandwidth = self.profile.bandwidth
+        self._inv_bandwidth = 1.0 / bandwidth if bandwidth > 0 else 0.0
+        self._jitter = self.profile.jitter
+        self._loss_rate = self.profile.loss_rate
         self.rng = rng
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._handlers: Dict[int, Handler] = {}
         self._ports: Dict[int, _Port] = {}
+        # Kernel internals, aliased for the raw event pushes below.  The
+        # heap alias stays valid across compaction (the kernel compacts
+        # in place); the bound ``__next__``/callback objects are
+        # allocated once here instead of once per datagram.
+        self._kheap: List[tuple] = sim._heap
+        self._kseq_next: Callable[[], int] = sim._seq.__next__
+        self._arrive_cb: Handler = self._arrive
+        self._deliver_cb: Handler = self._deliver
         # Optional adversarial hook: called per datagram at send time;
         # returns True (deliver), False (drop), or a float (extra delay
         # in seconds).  Used by targeted fault-injection tests.
@@ -122,44 +156,54 @@ class Network:
         topology = self.topology
         if not topology.is_alive(src) or src not in self._handlers:
             return
-        port = self._ports.get(src)
-        if port is None:
-            port = self._ports[src] = _Port()
-        sim = self.sim
-        now = sim.now
-        profile = self.profile
+        port = self._ports[src]  # attach() guarantees the port exists
+        now = self.sim.now
         free = port.egress_free_at
-        done = ((now if now > free else free) + profile.send_overhead
-                + profile.serialization_delay(size))
+        done = ((now if now > free else free) + self._send_overhead
+                + size * self._inv_bandwidth)
         port.egress_free_at = done
         self.datagrams_sent += 1
         self.bytes_sent += size
         rng = self.rng
-        jitter = profile.jitter if rng is not None else 0.0
-        loss_rate = profile.loss_rate if rng is not None else 0.0
+        jitter = self._jitter if rng is not None else 0.0
+        loss_rate = self._loss_rate if rng is not None else 0.0
+        rng_random: Callable[[], float] = \
+            rng.random if rng is not None else _zero
         interceptor = self.interceptor
         tracer = self.tracer
-        base_arrival = done + profile.propagation_delay
+        base_arrival = done + self._propagation
         # Hottest push in the system: enqueue the kernel's raw
         # fire-and-forget entry directly (same shape post_at builds)
         # rather than paying a Python call per destination.  Arrival
         # times are ``>= now`` by construction.
-        heap = sim._heap
-        seq = sim._seq
-        arrive = self._arrive
+        heap = self._kheap
+        seq_next = self._kseq_next
+        arrive = self._arrive_cb
+        # Healthy fabric (every node up, one component): ``src`` was
+        # vouched for above, so per-destination reachability collapses
+        # to membership in the alive dict — no method call per dst.
+        alive = topology._alive if topology._all_connected else None
         for dst in dsts:
             # Destinations already dead or cut off at send time never see
             # the datagram, so don't even construct it (one allocation per
             # destination on the hottest path in the fabric).
-            if dst != src and not topology.reachable(src, dst):
-                self.datagrams_dropped += 1
-                if tracer.enabled:
-                    tracer.emit(now, dst, "net.drop", src=src,
-                                reason="unreachable_at_send")
-                continue
+            if dst != src:
+                if alive is not None:
+                    if dst not in alive:
+                        self.datagrams_dropped += 1
+                        if tracer.enabled:
+                            tracer.emit(now, dst, "net.drop", src=src,
+                                        reason="unreachable_at_send")
+                        continue
+                elif not topology.reachable(src, dst):
+                    self.datagrams_dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(now, dst, "net.drop", src=src,
+                                    reason="unreachable_at_send")
+                    continue
             # Inlined profile.drops(): no draw at zero loss, identical
             # draw otherwise, one Python call fewer per destination.
-            if loss_rate > 0.0 and rng.random() < loss_rate:
+            if loss_rate > 0.0 and rng_random() < loss_rate:
                 self.datagrams_dropped += 1
                 if tracer.enabled:
                     tracer.emit(now, dst, "net.drop", src=src,
@@ -178,21 +222,22 @@ class Network:
             # The jitter draw happens per surviving destination — also
             # for self-delivery, whose arrival ignores it — to keep the
             # seeded random stream stable across code revisions.
-            # ``jitter * rng.random()`` is bit-identical to
+            # ``jitter * rng_random()`` is bit-identical to
             # ``rng.uniform(0.0, jitter)`` with one Python call fewer.
-            jit = jitter * rng.random() if jitter > 0.0 else 0.0
+            jit = jitter * rng_random() if jitter > 0.0 else 0.0
             if dst == src:
-                heappush(heap, (done + extra_delay, next(seq), arrive,
+                heappush(heap, (done + extra_delay, seq_next(), arrive,
                                 (datagram,)))
             else:
                 heappush(heap, (base_arrival + jit + extra_delay,
-                                next(seq), arrive, (datagram,)))
+                                seq_next(), arrive, (datagram,)))
 
     # ------------------------------------------------------------------
     # delivery
     # ------------------------------------------------------------------
     def _arrive(self, datagram: Datagram) -> None:
-        src, dst = datagram.src, datagram.dst
+        src = datagram.src
+        dst = datagram.dst
         topology = self.topology
         # Healthy fabric (every node up, one component): the send-time
         # check already vouched for src and dst, so skip the per-hop
@@ -207,22 +252,20 @@ class Network:
         if dst not in self._handlers:
             self._drop(datagram, "dst_detached")
             return
-        port = self._ports.get(dst)
-        if port is None:
-            port = self._ports[dst] = _Port()
-        sim = self.sim
-        now = sim.now
+        port = self._ports[dst]  # handler present => port exists
+        now = self.sim.now
         free = port.ingress_free_at
         ready = (now if now > free else free) + self._recv_overhead
         port.ingress_free_at = ready
         # Direct raw push (see _send_batch): ``ready >= now`` holds.
-        heappush(sim._heap, (ready, next(sim._seq), self._deliver,
-                             (datagram,)))
+        heappush(self._kheap, (ready, self._kseq_next(), self._deliver_cb,
+                               (datagram,)))
 
     def _deliver(self, datagram: Datagram) -> None:
         # Re-check at the actual delivery instant: the destination may
         # have crashed or been cut off while queued at the ingress port.
-        src, dst = datagram.src, datagram.dst
+        src = datagram.src
+        dst = datagram.dst
         topology = self.topology
         if not topology._all_connected:
             if not topology.is_alive(dst):

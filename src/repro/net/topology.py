@@ -9,13 +9,15 @@ on every change.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, final)
 
 
 class TopologyError(Exception):
     """Raised for malformed topology mutations."""
 
 
+@final
 class Topology:
     """Partitionable set of nodes.
 
@@ -25,7 +27,7 @@ class Topology:
     component structure (a crashed node keeps its component slot).
     """
 
-    def __init__(self, nodes: Iterable[int]):
+    def __init__(self, nodes: Iterable[int]) -> None:
         self.nodes: List[int] = sorted(set(nodes))
         if not self.nodes:
             raise TopologyError("topology needs at least one node")
@@ -73,7 +75,8 @@ class Topology:
     # ------------------------------------------------------------------
     # mutations
     # ------------------------------------------------------------------
-    def add_node(self, node: int, component_like: int = None) -> None:
+    def add_node(self, node: int,
+                 component_like: Optional[int] = None) -> None:
         """Add a brand-new node (dynamic replica instantiation).
 
         The node joins the component of ``component_like`` if given, else

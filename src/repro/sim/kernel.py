@@ -30,13 +30,30 @@ and compacts the heap in place once they outnumber the live ones
 heap grows with the number of *restarts*, not the number of live
 timers).  Compaction re-heapifies, which cannot perturb dispatch order
 because ``(time, seq)`` is a total order.
+
+This module is part of the accelerated set (:mod:`repro.accel`): the
+same file is the pure-python reference and the mypyc compilation unit,
+so it stays fully annotated, free of dynamic attribute tricks, and
+structured around tight monomorphic loops (``run`` is split by budget
+mode rather than re-testing the mode per event).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import (Any, Callable, Iterator, List, Optional, Tuple,
+                    TypeVar, final)
+
+_T = TypeVar("_T")
+
+try:
+    from mypy_extensions import mypyc_attr
+except ImportError:  # pragma: no cover - mypy_extensions not installed
+    def mypyc_attr(**_kwargs: Any) -> Callable[[_T], _T]:
+        def _identity(obj: _T) -> _T:
+            return obj
+        return _identity
 
 # Compact only above this heap size: tiny heaps are cheap to scan and
 # compacting them would just add churn.
@@ -47,6 +64,7 @@ class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
 
 
+@final
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -59,7 +77,8 @@ class EventHandle:
                  "_fired")
 
     def __init__(self, sim: "Simulator", time: float, seq: int,
-                 callback: Callable[..., None], args: Tuple[Any, ...]):
+                 callback: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
         self.sim = sim
         self.time = time
         self.seq = seq
@@ -89,6 +108,7 @@ class EventHandle:
         return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
 
 
+@mypyc_attr(allow_interpreted_subclasses=True)
 class Simulator:
     """The event loop.
 
@@ -98,14 +118,22 @@ class Simulator:
         sim.schedule(0.5, callback, arg1, arg2)
         sim.run()                 # run to quiescence
         sim.run(until=10.0)       # or up to a virtual deadline
+
+    Interpreted subclasses are allowed (``repro.runtime.SimRuntime`` is
+    a zero-override alias registering the class against the Runtime
+    protocol) but must not add behaviour: the compiled and pure builds
+    must stay interchangeable.
     """
+
+    __slots__ = ("now", "_heap", "_seq", "_running", "_events_processed",
+                 "_stopped", "_cancelled_in_heap", "peak_heap")
 
     def __init__(self) -> None:
         # ``now`` is a plain attribute, not a property: it is read on
         # every scheduling call and every tracer emit in the system.
         self.now = 0.0
         self._heap: List[tuple] = []
-        self._seq = itertools.count()
+        self._seq: Iterator[int] = itertools.count()
         self._running = False
         self._events_processed = 0
         self._stopped = False
@@ -129,7 +157,10 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        handle = EventHandle(self, self.now + delay, next(self._seq),
+                             callback, args)
+        heappush(self._heap, (handle.time, handle.seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
@@ -138,7 +169,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self.now})")
         handle = EventHandle(self, time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, (time, handle.seq, handle))
+        heappush(self._heap, (time, handle.seq, handle))
         return handle
 
     def post(self, delay: float, callback: Callable[..., None],
@@ -147,7 +178,8 @@ class Simulator:
         allocated, so the event cannot be cancelled."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        self.post_at(self.now + delay, callback, *args)
+        heappush(self._heap,
+                 (self.now + delay, next(self._seq), callback, args))
 
     def post_at(self, time: float, callback: Callable[..., None],
                 *args: Any) -> None:
@@ -155,7 +187,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self.now})")
-        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+        heappush(self._heap, (time, next(self._seq), callback, args))
 
     def call_soon(self, callback: Callable[..., None],
                   *args: Any) -> EventHandle:
@@ -176,7 +208,7 @@ class Simulator:
             # total order).
             heap[:] = [entry for entry in heap
                        if len(entry) != 3 or not entry[2]._cancelled]
-            heapq.heapify(heap)
+            heapify(heap)
             self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
@@ -188,7 +220,7 @@ class Simulator:
         while heap:
             if len(heap) > self.peak_heap:
                 self.peak_heap = len(heap)
-            entry = heapq.heappop(heap)
+            entry = heappop(heap)
             if len(entry) == 3:
                 handle = entry[2]
                 if handle._cancelled:
@@ -217,39 +249,89 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
-        dispatched = 0
-        processed = 0
         peak = self.peak_heap
         deadline = float("inf") if until is None else until
         heap = self._heap  # stable alias: compaction mutates in place
-        pop = heapq.heappop
+        try:
+            if max_events is None:
+                self._run_unbudgeted(heap, deadline, peak)
+            else:
+                self._run_budgeted(heap, deadline, peak, max_events)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            if len(heap) > self.peak_heap:
+                self.peak_heap = len(heap)
+            self._running = False
+
+    def _run_unbudgeted(self, heap: List[tuple], deadline: float,
+                        peak: int) -> None:
+        """The hot dispatch loop (no event budget to re-check per event).
+
+        Entries are popped before the deadline test — the one
+        past-deadline entry is pushed back, trading a single push per
+        ``run()`` for never peeking ``heap[0]`` separately per event.
+        Peak size is sampled at pop time: the heap only grows between
+        two pops, so its size here is the running maximum since the
+        previous event (the push side stays check-free).
+        """
+        processed = 0
         try:
             while heap and not self._stopped:
-                # Peak size is sampled at pop time: the heap only grows
-                # between two pops, so its size here is the running
-                # maximum since the previous event (push side stays
-                # check-free).
                 if len(heap) > peak:
                     peak = len(heap)
-                entry = heap[0]
+                entry = heappop(heap)
+                time: float = entry[0]
+                if time > deadline:
+                    heappush(heap, entry)
+                    break
+                if len(entry) == 4:
+                    self.now = time
+                    processed += 1
+                    entry[2](*entry[3])
+                else:
+                    handle = entry[2]
+                    if handle._cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self.now = time
+                    processed += 1
+                    handle._fired = True
+                    handle.callback(*handle.args)
+        finally:
+            # Flushed once per run rather than incremented per event;
+            # nothing consumes the counter mid-dispatch.
+            self._events_processed += processed
+            if peak > self.peak_heap:
+                self.peak_heap = peak
+
+    def _run_budgeted(self, heap: List[tuple], deadline: float,
+                      peak: int, max_events: int) -> None:
+        """Dispatch with a per-call event budget (livelock guard)."""
+        processed = 0
+        dispatched = 0
+        try:
+            while heap and not self._stopped:
+                if len(heap) > peak:
+                    peak = len(heap)
+                entry = heappop(heap)
+                time: float = entry[0]
+                if time > deadline:
+                    heappush(heap, entry)
+                    break
                 if len(entry) == 3:
                     handle = entry[2]
                     if handle._cancelled:
-                        pop(heap)
                         self._cancelled_in_heap -= 1
                         continue
                 else:
                     handle = None
-                time = entry[0]
-                if time > deadline:
-                    break
-                if max_events is not None:
-                    if dispatched >= max_events:
-                        raise SimulationError(
-                            f"event budget of {max_events} exhausted at "
-                            f"t={self.now:.6f}; likely livelock")
-                    dispatched += 1
-                pop(heap)
+                if dispatched >= max_events:
+                    heappush(heap, entry)
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at "
+                        f"t={self.now:.6f}; likely livelock")
+                dispatched += 1
                 self.now = time
                 processed += 1
                 if handle is None:
@@ -257,16 +339,10 @@ class Simulator:
                 else:
                     handle._fired = True
                     handle.callback(*handle.args)
-            if until is not None and self.now < until:
-                self.now = until
         finally:
-            # Flushed once per run() rather than incremented per event;
-            # nothing consumes the counter mid-dispatch.
             self._events_processed += processed
-            if len(heap) > peak:
-                peak = len(heap)
-            self.peak_heap = peak
-            self._running = False
+            if peak > self.peak_heap:
+                self.peak_heap = peak
 
     def stop(self) -> None:
         """Stop the currently-running :meth:`run` after the current event."""

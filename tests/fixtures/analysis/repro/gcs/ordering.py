@@ -1,0 +1,19 @@
+"""Fixture: accel module importing heavyweight layers (compile-imports).
+
+Named ``repro.gcs.ordering`` so it falls inside the
+``CompileDisciplineChecker`` scope (the ACCEL_MODULES list).  The
+TYPE_CHECKING-guarded import at the bottom must NOT be flagged.
+"""
+
+from typing import TYPE_CHECKING, Any
+
+import repro.core.engine                       # heavyweight module
+from repro.obs.metrics import Histogram        # off-limits subpackage
+from ..core import engine                      # bare package (resolved)
+
+if TYPE_CHECKING:
+    from repro.gcs.daemon import GcsDaemon     # type-only: allowed
+
+
+def order(daemon: Any) -> Any:
+    return repro.core.engine, Histogram, engine

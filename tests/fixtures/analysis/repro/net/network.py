@@ -1,0 +1,22 @@
+"""Fixture: accel module using dynamic constructs (compile-dynamic).
+
+Named ``repro.net.network`` so it falls inside the
+``CompileDisciplineChecker`` scope (the ACCEL_MODULES list).
+"""
+
+from typing import Any
+
+
+class Network:
+    def __init__(self) -> None:
+        self.handlers: Any = {}
+
+    def dispatch(self, target: Any, name: str) -> Any:
+        handler = getattr(target, name, None)          # dynamic lookup
+        setattr(target, "last_dispatch", name)         # dynamic store
+        return handler
+
+    def snapshot(self, target: Any) -> Any:
+        state = vars(target)                           # instance dict
+        state.update(target.__dict__)                  # __dict__ access
+        return eval("state")                           # dynamic eval

@@ -1,0 +1,20 @@
+"""Fixture: accel module with missing annotations (compile-annotations).
+
+Named ``repro.sim.kernel`` so it falls inside the
+``CompileDisciplineChecker`` scope (the ACCEL_MODULES list).
+"""
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def schedule(self, delay, callback) -> None:      # unannotated params
+        callback(delay)
+
+    def run(self, until: float):                      # missing return
+        self.now = until
+
+
+def make_key():                                       # missing return
+    return lambda entry: entry[0]                     # lambda, unannotatable

@@ -1,0 +1,195 @@
+"""Differential parity: the compiled and pure builds are interchangeable.
+
+The accelerated module set (:mod:`repro.accel`) ships as pure-python
+reference sources that mypyc optionally compiles (``REPRO_ACCEL=1`` at
+install time).  These tests prove the two builds are *the same
+simulation*: identical green orders, identical database digests,
+identical event streams.
+
+Without a compiled install both subprocesses run the pure build and the
+differential collapses to a cross-process determinism check — still a
+real assertion, so nothing here skips on a pure-only machine except the
+compiled-build-specific checks at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro import accel
+from repro.accel.modules import ACCEL_MODULES
+
+from conftest import make_cluster
+
+#: Small cluster workload run inside worker subprocesses: submit
+#: interleaved updates at two replicas, ride through a partition/heal,
+#: then report the green order and per-replica digests.
+_WORKER_SCRIPT = textwrap.dedent("""
+    import json
+    import sys
+
+    from repro import accel
+    from conftest import make_cluster
+
+    cluster = make_cluster(3)
+    cluster.start_all(settle=1.0)
+    c1, c2 = cluster.client(1), cluster.client(2)
+    for i in range(12):
+        c1.submit(("INC", "a", 1))
+        c2.submit(("SET", f"k{i}", i))
+    cluster.run_for(1.0)
+    cluster.partition([1, 2], [3])
+    cluster.run_for(0.5)
+    for i in range(4):
+        c1.submit(("INC", "b", 1))
+    cluster.heal()
+    cluster.run_for(2.0)
+    cluster.assert_converged()
+    replica = cluster.replicas[1]
+    order = [[a.server_id, a.action_id.index]
+             for _pos, a in replica.engine.queue.green_slice(0)]
+    print(json.dumps({
+        "build": accel.active(),
+        "force_pure": accel.force_pure_requested(),
+        "events": cluster.sim.events_processed,
+        "sim_now": cluster.sim.now,
+        "green_order": order,
+        "digests": {str(n): r.database.digest()
+                    for n, r in sorted(cluster.replicas.items())},
+    }))
+""")
+
+
+def _run_worker(force_pure: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH", ""),
+                    os.path.dirname(os.path.abspath(__file__)))
+        if p)
+    if force_pure:
+        env["REPRO_FORCE_PURE"] = "1"
+    else:
+        env.pop("REPRO_FORCE_PURE", None)
+    proc = subprocess.run([sys.executable, "-c", _WORKER_SCRIPT],
+                          env=env, capture_output=True, text=True,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+# build introspection API
+# ----------------------------------------------------------------------
+def test_active_reports_a_known_build():
+    assert accel.active() in ("pure", "compiled", "mixed")
+
+
+def test_build_info_covers_every_accel_module():
+    info = accel.build_info()
+    assert set(info) == set(ACCEL_MODULES)
+    assert set(info.values()) <= {"pure", "compiled"}
+
+
+def test_no_mixed_build_installed():
+    # A partial compile is a broken install: fail loudly here rather
+    # than letting benchmarks attribute numbers to the wrong build.
+    assert accel.active() != "mixed", accel.build_info()
+
+
+def test_force_pure_env_flag_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_FORCE_PURE", raising=False)
+    assert not accel.force_pure_requested()
+    monkeypatch.setenv("REPRO_FORCE_PURE", "0")
+    assert not accel.force_pure_requested()
+    monkeypatch.setenv("REPRO_FORCE_PURE", "1")
+    assert accel.force_pure_requested()
+
+
+def test_force_pure_subprocess_runs_pure():
+    report = _run_worker(force_pure=True)
+    assert report["force_pure"] is True
+    assert report["build"] == "pure"
+
+
+# ----------------------------------------------------------------------
+# differential parity
+# ----------------------------------------------------------------------
+def test_builds_agree_on_green_order_and_digests():
+    pure = _run_worker(force_pure=True)
+    default = _run_worker(force_pure=False)
+    assert pure["green_order"] == default["green_order"]
+    assert pure["digests"] == default["digests"]
+    assert pure["events"] == default["events"]
+    assert pure["sim_now"] == default["sim_now"]
+
+
+def test_in_process_run_matches_pure_subprocess():
+    # The suite's own (possibly compiled) interpreter replays the exact
+    # trace the pinned-pure subprocess produced.
+    expected = _run_worker(force_pure=True)
+    cluster = make_cluster(3)
+    cluster.start_all(settle=1.0)
+    c1, c2 = cluster.client(1), cluster.client(2)
+    for i in range(12):
+        c1.submit(("INC", "a", 1))
+        c2.submit(("SET", f"k{i}", i))
+    cluster.run_for(1.0)
+    cluster.partition([1, 2], [3])
+    cluster.run_for(0.5)
+    for _ in range(4):
+        c1.submit(("INC", "b", 1))
+    cluster.heal()
+    cluster.run_for(2.0)
+    cluster.assert_converged()
+    replica = cluster.replicas[1]
+    order = [[a.server_id, a.action_id.index]
+             for _pos, a in replica.engine.queue.green_slice(0)]
+    digests = {str(n): r.database.digest()
+               for n, r in sorted(cluster.replicas.items())}
+    assert order == expected["green_order"]
+    assert digests == expected["digests"]
+    assert cluster.sim.events_processed == expected["events"]
+
+
+# ----------------------------------------------------------------------
+# compiled build only
+# ----------------------------------------------------------------------
+compiled_only = pytest.mark.skipif(
+    accel.active() != "compiled",
+    reason="compiled (mypyc) build not installed")
+
+
+@compiled_only
+def test_compiled_modules_are_extensions():
+    info = accel.build_info()
+    assert all(build == "compiled" for build in info.values()), info
+
+
+@compiled_only
+def test_compiled_kernel_is_native():
+    from repro.sim.kernel import Simulator
+    origin = sys.modules["repro.sim.kernel"].__file__ or ""
+    assert origin.endswith((".so", ".pyd"))
+    # The interpreted zero-override subclass must still work on the
+    # native base class (mypyc_attr(allow_interpreted_subclasses=True)).
+    from repro.runtime import SimRuntime
+    sim = SimRuntime()
+    fired = []
+    sim.post(0.1, fired.append, 1)
+    handle = sim.schedule(0.2, fired.append, 2)
+    handle.cancel()
+    sim.run()
+    assert fired == [1]
+    assert isinstance(sim, Simulator)
+
+
+@compiled_only
+def test_default_subprocess_runs_compiled():
+    report = _run_worker(force_pure=False)
+    assert report["build"] == "compiled"

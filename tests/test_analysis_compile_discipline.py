@@ -1,0 +1,105 @@
+"""Compile-discipline enforcer: fixture violations, scope, live tree."""
+
+from pathlib import Path
+
+from repro.accel.modules import ACCEL_MODULES
+from repro.analysis import CompileDisciplineChecker
+from repro.analysis.compile_discipline import (RULE_ANNOTATIONS,
+                                               RULE_DYNAMIC, RULE_IMPORTS)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+BAD_ANNOTATIONS = FIXTURES / "repro" / "sim" / "kernel.py"
+BAD_DYNAMIC = FIXTURES / "repro" / "net" / "network.py"
+BAD_IMPORTS = FIXTURES / "repro" / "gcs" / "ordering.py"
+
+
+def test_fixture_missing_annotations_detected():
+    findings = CompileDisciplineChecker().check_paths([BAD_ANNOTATIONS])
+    annotations = [f for f in findings if f.rule == RULE_ANNOTATIONS]
+    # unannotated params of schedule(); missing returns on run() and
+    # make_key(); the lambda.
+    assert any("schedule()" in f.message and "delay" in f.message
+               for f in annotations)
+    assert any("run()" in f.message and "return annotation" in f.message
+               for f in annotations)
+    assert any("make_key()" in f.message for f in annotations)
+    assert any("lambda" in f.message for f in annotations)
+    # ``self`` never needs an annotation: the fully annotated __init__
+    # must be clean.
+    assert not any(f.line == 9 for f in annotations)
+
+
+def test_fixture_dynamic_constructs_detected():
+    findings = CompileDisciplineChecker().check_paths([BAD_DYNAMIC])
+    dynamic = [f for f in findings if f.rule == RULE_DYNAMIC]
+    flagged = " ".join(f.message for f in dynamic)
+    for construct in ("getattr()", "setattr()", "vars()", "eval()",
+                      "'__dict__'"):
+        assert construct in flagged, construct
+    # The fixture is otherwise fully annotated.
+    assert not any(f.rule == RULE_ANNOTATIONS for f in findings)
+
+
+def test_fixture_heavy_imports_detected():
+    findings = CompileDisciplineChecker().check_paths([BAD_IMPORTS])
+    imports = [f for f in findings if f.rule == RULE_IMPORTS]
+    flagged = " ".join(f.message for f in imports)
+    assert "repro.core.engine" in flagged          # heavyweight module
+    assert "repro.obs" in flagged                  # off-limits subpackage
+    assert "'repro.core'" in flagged               # resolved bare package
+    # The TYPE_CHECKING-guarded daemon import is exempt.
+    assert "daemon" not in flagged
+
+
+def test_scope_is_exactly_the_accel_list(tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    bad = "def f(x):\n    return x\n"
+    (pkg / "kernel.py").write_text(bad)       # in ACCEL_MODULES
+    (pkg / "process.py").write_text(bad)      # not in the list
+    findings = CompileDisciplineChecker().check_paths([tmp_path])
+    assert findings, "accel module violation must be reported"
+    assert all(f.path.endswith("kernel.py") for f in findings)
+
+
+def test_custom_module_list(tmp_path):
+    pkg = tmp_path / "repro" / "net"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "extra.py").write_text("def f(x):\n    return x\n")
+    default = CompileDisciplineChecker().check_paths([tmp_path])
+    custom = CompileDisciplineChecker(
+        modules=["repro.net.extra"]).check_paths([tmp_path])
+    assert default == []
+    assert {f.rule for f in custom} == {RULE_ANNOTATIONS}
+
+
+def test_suppression_comment_covers_finding(tmp_path):
+    pkg = tmp_path / "repro" / "net"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "codec.py").write_text(
+        "def decode(raw: bytes) -> object:\n"
+        "    # repro: allow[compile-dynamic] -- registry fallback\n"
+        "    return getattr(raw, 'decode')()\n")
+    findings = CompileDisciplineChecker().check_paths([tmp_path])
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_live_accel_modules_are_compile_clean():
+    # The tentpole's acceptance gate: every module setup.py compiles
+    # passes the discipline rules as shipped.
+    findings = [f for f in CompileDisciplineChecker().check_paths([SRC])
+                if not f.suppressed]
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_accel_list_matches_real_files():
+    for name in ACCEL_MODULES:
+        rel = Path(*name.split(".")[1:]).with_suffix(".py")
+        assert (SRC / rel).exists(), f"{name} has no source file"
