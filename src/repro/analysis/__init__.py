@@ -19,7 +19,11 @@ checks alone catch late or not at all:
   mypyc-accelerated module set (:data:`repro.accel.modules.ACCEL_MODULES`)
   fully annotated, free of dynamic-attribute constructs, and decoupled
   from heavyweight protocol modules, so the same files compile natively
-  and interpret identically.
+  and interpret identically;
+* :mod:`~repro.analysis.model_sync` — asserts the model checker's
+  abstract model (:mod:`repro.check.model`) *derives* its edges from
+  ``EDGES_BY_INPUT`` rather than carrying a hand-written copy that
+  could drift from the executable table.
 
 Run the whole suite with ``repro-analyze`` (see
 :mod:`repro.tools.analyze`) or programmatically via
@@ -31,6 +35,7 @@ from .common import (Finding, Suppressions, collect_py_files,
                      iter_findings, module_parts, parse_file)
 from .compile_discipline import CompileDisciplineChecker
 from .determinism import DeterminismLinter, PROTOCOL_PACKAGES
+from .model_sync import ModelSyncChecker, model_modules
 from .seams import SEAM_EXEMPT_PACKAGES, SeamEnforcer
 from .state_checker import (StateMachineChecker, default_state_table,
                             engine_sources)
@@ -40,6 +45,7 @@ __all__ = [
     "CompileDisciplineChecker",
     "DeterminismLinter",
     "Finding",
+    "ModelSyncChecker",
     "PROTOCOL_PACKAGES",
     "SEAM_EXEMPT_PACKAGES",
     "SeamEnforcer",
@@ -50,6 +56,7 @@ __all__ = [
     "engine_sources",
     "iter_findings",
     "main",
+    "model_modules",
     "module_parts",
     "parse_file",
     "run_analyzers",

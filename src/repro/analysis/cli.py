@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from .common import Finding, collect_py_files
 from .compile_discipline import CompileDisciplineChecker
 from .determinism import DeterminismLinter
+from .model_sync import ModelSyncChecker, model_modules
 from .seams import SeamEnforcer
 from .state_checker import StateMachineChecker, engine_sources
 
@@ -41,6 +42,9 @@ def run_analyzers(paths: Iterable[Path],
         checker = StateMachineChecker()
         findings.extend(checker.check_paths(engine_files,
                                             table_path=table_path))
+    model_files = [f for root in roots for f in model_modules(root)]
+    if model_files:
+        findings.extend(ModelSyncChecker().check_paths(model_files))
     findings.extend(DeterminismLinter().check_paths(files))
     findings.extend(SeamEnforcer().check_paths(files))
     findings.extend(CompileDisciplineChecker().check_paths(files))

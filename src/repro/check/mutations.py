@@ -1,0 +1,84 @@
+"""Known-bug mutations for the checker self-test and fuzz injection.
+
+The two abstract-model mutations revert, *in the model only*, the two
+liveness fixes the repo already carries (the real code is untouched):
+
+* ``exact-half-tie`` — dynamic linear voting without the distinguished
+  member: an exact half of the last primary no longer wins the tie, so
+  a clean 50/50 split can leave both components without a quorum
+  forever (the wedge PR 1 fixed with ``min(prim)``).
+* ``cpc-drop`` — CPC votes arriving while the receiver is still in
+  ExchangeStates/ExchangeActions are dropped instead of buffered, so a
+  member whose exchange lags can miss its peers' votes and sit in
+  Construct forever (the wedge PR 4 fixed with ``_cpc_received``).
+
+Against the *fixed* model both must produce a wedge counterexample —
+proving the checker would have caught the original bugs.
+
+:class:`BothHalvesQuorum` is the fuzz-side injectable bug: a quorum
+policy under which *both* halves of an exact split believe they hold
+the quorum, driving the real simulator into divergence so the fuzzer
+and shrinker have a genuine safety failure to find and minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, Tuple
+
+from ..core.quorum import DynamicLinearVoting, QuorumPolicy
+from .model import ModelConfig
+
+#: mutation name -> (ModelConfig field overrides, description).
+MUTATIONS: Dict[str, Dict[str, object]] = {
+    "exact-half-tie": {
+        "overrides": {"tie_breaker": False},
+        "description": (
+            "dynamic linear voting without the distinguished-member "
+            "tie breaker: exact halves never form a quorum"),
+        "expected_rule": "quorum-wedge",
+    },
+    "cpc-drop": {
+        "overrides": {"buffer_early_cpc": False},
+        "description": (
+            "CPC votes delivered during ExchangeStates/ExchangeActions "
+            "are dropped instead of buffered"),
+        "expected_rule": "construct-stuck",
+    },
+}
+
+
+def apply_mutation(config: ModelConfig, name: str) -> ModelConfig:
+    """Return ``config`` with the named known-bug mutation applied."""
+    try:
+        spec = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; "
+            f"known: {', '.join(sorted(MUTATIONS))}") from None
+    overrides = spec["overrides"]
+    assert isinstance(overrides, dict)
+    return replace(config, **overrides)
+
+
+class BothHalvesQuorum(QuorumPolicy):
+    """Deliberately broken policy: on an exact-half split of the last
+    primary, *both* halves win.  Used only to inject a reproducible
+    safety bug into the real simulator for fuzzer/shrinker tests."""
+
+    def __init__(self) -> None:
+        self._fixed = DynamicLinearVoting()
+
+    def is_quorum(self, connected: Iterable[int],
+                  last_prim_servers: Tuple[int, ...],
+                  all_servers: Iterable[int]) -> bool:
+        reference = (set(last_prim_servers) if last_prim_servers
+                     else set(all_servers))
+        present = set(connected) & reference
+        if reference and 2 * len(present) == len(reference):
+            return True  # the bug: no tie breaker, everyone wins
+        return self._fixed.is_quorum(connected, last_prim_servers,
+                                     all_servers)
+
+    def describe(self) -> str:
+        return "both-halves-quorum (injected bug)"

@@ -108,6 +108,24 @@ EDGES_BY_INPUT: Dict[EngineInput, FrozenSet[Edge]] = {
 EDGES: FrozenSet[Edge] = frozenset(
     edge for edges in EDGES_BY_INPUT.values() for edge in edges)
 
+#: Declared edges that extended virtual synchrony makes dynamically
+#: unreachable.  The GCS daemon always delivers a transitional
+#: configuration before the regular one (``_install_view``), and the
+#: transitional configuration moves ExchangeStates/ExchangeActions to
+#: NonPrim and Construct to No — so by the time the regular
+#: configuration reaches the engine, it can only be in NonPrim,
+#: TransPrim, No, or Un.  The two edges below stay in the table
+#: because the *code* can take them (``_on_reg_conf`` shifts to the
+#: exchange from any state, and the static cross-checker verifies the
+#: table against the code, not against the delivery order); the model
+#: checker (``repro.check``) asserts dynamically that no reachable
+#: execution ever exercises them.
+EVS_SHADOWED_EDGES: FrozenSet[Tuple[EngineInput, EngineState,
+                                    EngineState]] = frozenset({
+    (EngineInput.REG_CONF, _S.EXCHANGE_ACTIONS, _S.EXCHANGE_STATES),
+    (EngineInput.REG_CONF, _S.CONSTRUCT, _S.EXCHANGE_STATES),
+})
+
 #: state -> set of states reachable in one transition (Figure 4 edges;
 #: self-loops are implicit and always allowed).  Derived from
 #: :data:`EDGES_BY_INPUT` so the two views cannot drift apart.

@@ -38,7 +38,19 @@ Scenario format::
 
 ``check`` kinds: ``converged``, ``prefix``, ``single_primary``,
 ``primary_is`` (with ``members``), ``key`` (with ``node``, ``key``,
-``value``).
+``value``), ``all_primary`` (every running replica back in RegPrim),
+``completions`` (with ``at_least``).
+
+Optional top-level keys tune the cluster build — all plain data, so a
+shrunk fuzzer repro pins its exact timers and policy:
+
+* ``"gcs"`` — keyword overrides for :class:`~repro.gcs.GcsSettings`;
+* ``"disk"`` — keyword overrides for
+  :class:`~repro.storage.DiskProfile`;
+* ``"quorum"`` — ``"dynamic-linear"`` (default), ``"static-majority"``,
+  or ``"both-halves"`` (the deliberately broken tie policy from
+  :mod:`repro.check.mutations`, for regression replays of fuzzer
+  counterexamples).
 
 Sharded scenarios
 -----------------
@@ -83,6 +95,34 @@ class ScenarioError(Exception):
     """Raised for malformed scenarios or failed checks."""
 
 
+def _cluster_kwargs(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve the optional ``gcs``/``disk``/``quorum`` spec keys into
+    :class:`~repro.core.ReplicaCluster` constructor arguments."""
+    kwargs: Dict[str, Any] = {}
+    if "gcs" in spec:
+        from ..gcs import GcsSettings
+        kwargs["gcs_settings"] = GcsSettings(**spec["gcs"])
+    if "disk" in spec:
+        from ..storage import DiskProfile
+        kwargs["disk_profile"] = DiskProfile(**spec["disk"])
+    if "quorum" in spec:
+        kwargs["engine_config"] = _engine_config(spec["quorum"])
+    return kwargs
+
+
+def _engine_config(quorum: str) -> Any:
+    from ..core.engine import EngineConfig
+    from ..core.quorum import DynamicLinearVoting, StaticMajority
+    if quorum == "dynamic-linear":
+        return EngineConfig(quorum=DynamicLinearVoting())
+    if quorum == "static-majority":
+        return EngineConfig(quorum=StaticMajority())
+    if quorum == "both-halves":
+        from ..check.mutations import BothHalvesQuorum
+        return EngineConfig(quorum=BothHalvesQuorum())
+    raise ScenarioError(f"unknown quorum policy {quorum!r}")
+
+
 @dataclass
 class ScenarioReport:
     """Outcome of a scenario run."""
@@ -120,7 +160,8 @@ class ScenarioRunner:
             seed=int(spec.get("seed", 0)),
             trace=(observability is not None
                    and observability.flight_hub is not None),
-            observability=observability)
+            observability=observability,
+            **_cluster_kwargs(spec))
         self._completions = 0
 
     # ------------------------------------------------------------------
@@ -206,6 +247,19 @@ class ScenarioRunner:
                     raise AssertionError(
                         f"{step['key']!r} at {node} is {value!r}, "
                         f"expected {step['value']!r}")
+            elif kind == "all_primary":
+                states = self.cluster.states()
+                laggards = {n: s for n, s in states.items()
+                            if s != "RegPrim"}
+                if laggards:
+                    raise AssertionError(
+                        f"not all replicas are primary: {laggards}")
+            elif kind == "completions":
+                expected = int(step["at_least"])
+                if self._completions < expected:
+                    raise AssertionError(
+                        f"only {self._completions} completions, "
+                        f"expected at least {expected}")
             else:
                 raise ScenarioError(f"unknown check kind {kind!r}")
         except AssertionError as failure:

@@ -1,0 +1,32 @@
+"""Bad abstract model: forks the Figure-4 table instead of deriving it.
+
+Trips both model-sync rules: no derivation import from
+``repro.core.state_machine`` (``model-derivation``) and a hand-written
+edge-table literal plus a dict-shaped copy (``model-edge-copy``).
+"""
+
+from repro.core.state_machine import EngineState
+
+_S = EngineState
+
+# A pasted copy of "the interesting edges" — exactly the drift hazard
+# the rule exists to catch.
+MY_EDGES = frozenset({
+    (_S.EXCHANGE_STATES, _S.EXCHANGE_ACTIONS),
+    (_S.EXCHANGE_ACTIONS, _S.CONSTRUCT),
+    (_S.CONSTRUCT, _S.REG_PRIM),
+})
+
+# Dict-shaped variant of the same copy.
+NEXT_BY_STATE = {
+    _S.NON_PRIM: (_S.EXCHANGE_STATES, _S.NON_PRIM),
+    _S.REG_PRIM: (_S.TRANS_PRIM,),
+}
+
+# A membership tuple — must NOT be flagged; it tests states, it does
+# not declare transitions.
+QUIET_STATES = (_S.REG_PRIM, _S.TRANS_PRIM, _S.NON_PRIM)
+
+
+def step(state):
+    return state in QUIET_STATES

@@ -1,0 +1,187 @@
+"""Model checker, mutation self-tests, coverage pin, and TLA+ export."""
+
+import json
+
+import pytest
+
+from repro.check.coverage import (DIRECTED_TRACES, all_declared_edges,
+                                  live_edges, measure_coverage,
+                                  run_trace)
+from repro.check.mc import ModelChecker, run_check
+from repro.check.model import ModelConfig
+from repro.check.mutations import MUTATIONS, apply_mutation
+from repro.check.tla import MODULE_NAME, edge_count, export_tla
+from repro.core.state_machine import EVS_SHADOWED_EDGES
+
+
+class TestCleanExploration:
+    def test_two_nodes_full_budget_is_violation_free(self):
+        result = run_check(nodes=2, depth=12, max_faults=2,
+                           max_crashes=1, max_actions=1)
+        assert result.ok, [v.format() for v in result.violations]
+        assert result.complete
+        assert result.states > 1000
+        assert result.quiescent_states > 0
+        assert result.depth_reached == 12
+
+    def test_three_nodes_shallow_is_violation_free(self):
+        result = run_check(nodes=3, depth=8, max_faults=1,
+                           max_crashes=0, max_actions=0)
+        assert result.ok, [v.format() for v in result.violations]
+        assert result.complete
+
+    def test_static_majority_policy_is_violation_free(self):
+        result = run_check(nodes=2, depth=10, max_faults=2,
+                           max_crashes=0, max_actions=1,
+                           quorum="static-majority")
+        assert result.ok, [v.format() for v in result.violations]
+
+    def test_result_serializes_to_json(self):
+        result = run_check(nodes=2, depth=6, max_faults=1,
+                           max_crashes=0, max_actions=0)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["states"] == result.states
+        assert payload["complete"] is True
+        assert payload["violations"] == []
+
+    def test_max_states_budget_marks_incomplete(self):
+        config = ModelConfig(nodes=2, max_faults=2, max_crashes=1,
+                             max_actions=1)
+        result = ModelChecker(config, max_depth=12,
+                              max_states=50).run()
+        assert not result.complete
+
+
+class TestMutationSelfTest:
+    """The checker must *rediscover* both historical wedges when the
+    corresponding fix is reverted in the model — proof it would have
+    caught them."""
+
+    def test_cpc_drop_rediscovers_construct_stuck(self):
+        result = run_check(nodes=2, depth=8, mutate="cpc-drop",
+                           max_faults=0, max_crashes=0, max_actions=1)
+        rules = {(v.kind, v.rule) for v in result.violations}
+        assert ("wedge", "construct-stuck") in rules
+        wedge = next(v for v in result.violations
+                     if v.rule == "construct-stuck")
+        # BFS minimality: the counterexample trace IS the depth.
+        assert len(wedge.trace) == wedge.depth
+        assert wedge.trace[0].startswith("form_view")
+
+    def test_exact_half_tie_rediscovers_quorum_wedge(self):
+        result = run_check(nodes=2, depth=10, mutate="exact-half-tie",
+                           max_faults=1, max_crashes=0, max_actions=0)
+        rules = {(v.kind, v.rule) for v in result.violations}
+        assert ("wedge", "quorum-wedge") in rules
+        wedge = next(v for v in result.violations
+                     if v.rule == "quorum-wedge")
+        assert any(step.startswith("partition") for step in wedge.trace)
+
+    def test_unmutated_runs_find_neither_wedge(self):
+        for name in MUTATIONS:
+            clean = run_check(nodes=2, depth=8, max_faults=1,
+                              max_crashes=0, max_actions=1)
+            assert clean.ok, (name, [v.rule for v in clean.violations])
+
+    def test_mutation_registry_shape(self):
+        assert set(MUTATIONS) == {"exact-half-tie", "cpc-drop"}
+        for name, entry in MUTATIONS.items():
+            mutated = apply_mutation(ModelConfig(), name)
+            assert mutated != ModelConfig()
+            assert entry["expected_rule"] in ("quorum-wedge",
+                                              "construct-stuck")
+
+    def test_unknown_mutation_is_rejected(self):
+        with pytest.raises(ValueError):
+            apply_mutation(ModelConfig(), "no-such-mutation")
+
+
+class TestCoverage:
+    def test_every_live_edge_is_exercised(self):
+        report = measure_coverage()
+        assert report.ok, report.to_dict()
+        assert report.uncovered == set()          # the pin: zero
+        assert report.covered == live_edges()
+        assert report.shadowed_exercised == set()
+
+    def test_edge_arithmetic(self):
+        assert len(all_declared_edges()) == 18
+        assert len(live_edges()) == 16
+        assert set(EVS_SHADOWED_EDGES) <= all_declared_edges()
+
+    def test_directed_traces_stay_enabled(self):
+        # run_trace raises if any scripted step is not enabled — the
+        # deep-edge traces must not silently go stale.
+        for _label, config, events in DIRECTED_TRACES:
+            model = run_trace(config, events)
+            assert model.edges_seen
+
+
+class TestCli:
+    def test_mc_clean_run_exits_zero_and_writes_report(self, tmp_path):
+        from repro.check.cli import main
+        out = tmp_path / "mc.json"
+        rc = main(["--mc", "--nodes", "2", "--depth", "8",
+                   "--max-faults", "1", "--max-crashes", "0",
+                   "--max-actions", "0", "--json", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["mc"]["violations"] == []
+        assert payload["mc"]["complete"] is True
+
+    def test_expect_violation_inverts_the_exit_code(self):
+        from repro.check.cli import main
+        rc = main(["--mc", "--nodes", "2", "--depth", "8",
+                   "--max-faults", "0", "--max-crashes", "0",
+                   "--max-actions", "1", "--mutate", "cpc-drop",
+                   "--expect-violation"])
+        assert rc == 0
+        rc = main(["--mc", "--nodes", "2", "--depth", "6",
+                   "--max-faults", "0", "--max-crashes", "0",
+                   "--max-actions", "0", "--expect-violation"])
+        assert rc == 1  # clean run, but a violation was demanded
+
+    def test_tla_mode_writes_the_module(self, tmp_path):
+        from repro.check.cli import main
+        out = tmp_path / "Figure4.tla"
+        assert main(["--tla", str(out)]) == 0
+        assert out.read_text(encoding="utf-8") == export_tla()
+
+    def test_fuzz_shrink_out_writes_replayable_repro(self, tmp_path):
+        from repro.check.cli import main
+        out_dir = tmp_path / "repros"
+        rc = main(["--fuzz", "--seeds", "1", "--first-seed", "38",
+                   "--inject-bug", "--shrink", "--out", str(out_dir),
+                   "--expect-violation",
+                   "--json", str(tmp_path / "fuzz.json")])
+        assert rc == 0
+        (spec_path,) = sorted(out_dir.glob("repro-seed*.json"))
+        spec = json.loads(spec_path.read_text(encoding="utf-8"))
+        from repro.tools.scenario import ScenarioError, run_scenario
+        with pytest.raises(ScenarioError):
+            run_scenario(spec)
+
+
+class TestTlaExport:
+    def test_edge_count_matches_the_table(self):
+        assert edge_count() == 18
+
+    def test_module_structure(self):
+        text = export_tla()
+        lines = text.splitlines()
+        assert lines[0] == f"---- MODULE {MODULE_NAME} ----"
+        assert lines[-1].startswith("====")
+        assert "EXTENDS Naturals" in text
+        assert "TypeOK == state \\in [Servers -> States]" in text
+        assert 'Init == state = [s \\in Servers |-> "NonPrim"]' in text
+        assert "Spec == Init /\\ [][Next]_state" in text
+        # One action predicate per input kind.
+        for name in ("Action", "RegConf", "TransConf", "StateMsg",
+                     "CpcMsg", "Client"):
+            assert f"{name}(s)" in text
+
+    def test_one_disjunct_per_declared_edge(self):
+        text = export_tla()
+        assert text.count('/\\ state[s] = "') == edge_count()
+        # The EVS-shadowed edges are exported but annotated.
+        assert text.count("EVS-shadowed") == len(EVS_SHADOWED_EDGES)
